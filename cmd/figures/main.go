@@ -1,0 +1,250 @@
+// Command figures regenerates the thesis's data figures:
+//
+//	layouts — contact layouts (Figs 3-6, 3-7, 3-8, 4-1, 4-8, 4-10)
+//	3-1     — standard and transformed basis voltage functions (Figs 3-1..3-4)
+//	3-9     — spy plots of the wavelet Gws / thresholded Gwt (Figs 3-9, 3-10)
+//	4-1     — the §4.1 worked example: column ratio and SVD of G_ds
+//	4-3     — singular-value decay, self vs well-separated (Fig 4-3)
+//	4-9     — spy plot of the low-rank Gwt for the mixed-shapes example
+//	          (Fig 4-9; Fig 4-11 is the same pipeline at the 10240-contact
+//	          Example 5 scale, reachable via cmd/tables -table 4.3 -large)
+//
+// ASCII renderings go to stdout; PGM images are written next to -out.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"subcouple/internal/core"
+	"subcouple/internal/experiments"
+	"subcouple/internal/geom"
+	"subcouple/internal/la"
+	"subcouple/internal/quadtree"
+	"subcouple/internal/render"
+	"subcouple/internal/solver"
+	"subcouple/internal/sparse"
+	"subcouple/internal/wavelet"
+)
+
+var outDir = flag.String("out", "figures_out", "directory for PGM images")
+
+func main() {
+	fig := flag.String("fig", "all", "which figure to regenerate (all|layouts|3-1|3-9|4-1|4-3|4-9)")
+	flag.Parse()
+	log.SetFlags(log.Ltime)
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	run := func(name string, f func() error) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		if err := f(); err != nil {
+			log.Fatalf("figure %s: %v", name, err)
+		}
+	}
+	run("layouts", layouts)
+	run("3-1", basisFunctions)
+	run("3-9", waveletSpy)
+	run("4-1", section41)
+	run("4-3", singularValues)
+	run("4-9", lowRankSpy)
+}
+
+func layouts() error {
+	for _, l := range []*geom.Layout{
+		geom.RegularGrid(128, 128, 32, 32, 2),               // Fig 3-6
+		geom.IrregularSameSize(128, 128, 32, 32, 2, 0.6, 7), // Fig 3-7
+		geom.AlternatingGrid(128, 128, 32, 32, 1, 3),        // Fig 3-8
+		geom.MixedShapes(128),                               // Fig 4-8
+		geom.LargeMixed(256, 128, 10240),                    // Fig 4-10
+	} {
+		fmt.Println(render.Layout(l, 64))
+	}
+	l, _, _ := geom.TwoPlusFour(64) // Fig 4-1
+	fmt.Println(render.Layout(l, 64))
+	return nil
+}
+
+// basisFunctions reproduces Figs 3-1..3-4: the Haar-like p=0 wavelet basis
+// on groups of four equal contacts.
+func basisFunctions() error {
+	layout := geom.RegularGrid(32, 32, 8, 8, 2)
+	tree, err := quadtree.Build(layout, 2)
+	if err != nil {
+		return err
+	}
+	b, err := wavelet.NewBasis(layout, tree, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig 3-1: standard basis voltage functions (one contact at 1 V)")
+	e := make([]float64, layout.N())
+	e[0] = 1
+	fmt.Println(render.VoltageFunction(layout, e, 48))
+
+	fmt.Println("Fig 3-2: transformed basis functions on the finest level (balanced ±1 V)")
+	shown := 0
+	for idx, info := range b.Cols {
+		if info.Kind == wavelet.ColW && info.Level == tree.MaxLevel && shown < 3 {
+			fmt.Println(render.VoltageFunction(layout, b.ColVector(idx), 48))
+			shown++
+		}
+	}
+
+	fmt.Println("Figs 3-3/3-4: coarser-level transformed basis functions")
+	for idx, info := range b.Cols {
+		if info.Kind == wavelet.ColW && info.Level == 1 {
+			fmt.Println(render.VoltageFunction(layout, b.ColVector(idx), 48))
+			break
+		}
+	}
+	for idx, info := range b.Cols {
+		if info.Kind == wavelet.ColV {
+			fmt.Println("Level-0 nonvanishing (all-1V) function:")
+			fmt.Println(render.VoltageFunction(layout, b.ColVector(idx), 48))
+			break
+		}
+	}
+	return nil
+}
+
+func waveletSpy() error {
+	c := experiments.Example2(experiments.Full)
+	log.Printf("extracting exact G for %s...", c.Name)
+	g, err := experiments.ExactG(c)
+	if err != nil {
+		return err
+	}
+	res, err := core.Extract(solver.NewDense(g), c.Layout, core.Options{
+		Method: core.Wavelet, MaxLevel: c.MaxLevel, ThresholdFactor: 6,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig 3-9: spy plot of wavelet Gws (quadrant-hierarchical ordering)")
+	fmt.Println(render.Spy(res.GwReordered(false), 72))
+	fmt.Println("Fig 3-10: spy plot after thresholding (Gwt)")
+	fmt.Println(render.Spy(res.GwReordered(true), 72))
+	if err := writePGM("fig3-9.pgm", res.GwReordered(false)); err != nil {
+		return err
+	}
+	return writePGM("fig3-10.pgm", res.GwReordered(true))
+}
+
+// section41 reproduces the §4.1 worked example on the Fig 4-1 layout:
+// the interaction block G_ds has nearly proportional columns, its second
+// singular value is tiny, and the second right singular vector drives a
+// near-zero faraway current response.
+func section41() error {
+	layout, src, dst := geom.TwoPlusFour(64)
+	c := experiments.Case{Name: "fig4-1", Layout: layout, MaxLevel: 3, NP: 64}
+	log.Printf("extracting exact G for the Fig 4-1 layout...")
+	g, err := experiments.ExactG(c)
+	if err != nil {
+		return err
+	}
+	gds := la.NewDense(len(dst), len(src))
+	for i, di := range dst {
+		for j, sj := range src {
+			gds.Set(i, j, g.At(di, sj))
+		}
+	}
+	fmt.Println("G_ds (currents at the four faraway contacts per volt on the two source contacts):")
+	for i := 0; i < gds.Rows; i++ {
+		fmt.Printf("  %+.6f  %+.6f\n", gds.At(i, 0), gds.At(i, 1))
+	}
+	fmt.Println("column ratio G_ds(:,2)./G_ds(:,1) (thesis: nearly constant ≈ 1.89):")
+	for i := 0; i < gds.Rows; i++ {
+		fmt.Printf("  %.4f\n", gds.At(i, 1)/gds.At(i, 0))
+	}
+	svd := la.JacobiSVD(gds)
+	fmt.Printf("singular values: %.6g, %.6g (ratio %.2g)\n",
+		svd.Sigma[0], svd.Sigma[1], svd.Sigma[1]/svd.Sigma[0])
+	v2 := svd.V.Col(1)
+	resp := gds.MulVec(v2)
+	fmt.Printf("faraway response to the 2nd right singular vector [%.4f %.4f]:\n  ", v2[0], v2[1])
+	for _, r := range resp {
+		fmt.Printf("%+.2e ", r)
+	}
+	fmt.Println("\n(compare: response to the moment-balanced vector is much larger)")
+	bal := []float64{.9138, -.4061} // thesis's area-weighted balanced vector
+	respB := gds.MulVec(bal)
+	fmt.Print("  balanced-vector response: ")
+	for _, r := range respB {
+		fmt.Printf("%+.2e ", r)
+	}
+	fmt.Println()
+	return nil
+}
+
+func singularValues() error {
+	c := experiments.Example1a(experiments.Small)
+	log.Printf("extracting exact G for %s...", c.Name)
+	g, err := experiments.ExactG(c)
+	if err != nil {
+		return err
+	}
+	tree, err := quadtree.Build(c.Layout, c.MaxLevel)
+	if err != nil {
+		return err
+	}
+	// Source square and a well-separated destination square on level 2.
+	s := tree.At(2, 0, 0)
+	d := tree.At(2, 2, 2)
+	sub := func(rows, cols []int) *la.Dense {
+		m := la.NewDense(len(rows), len(cols))
+		for i, r := range rows {
+			for j, q := range cols {
+				m.Set(i, j, g.At(r, q))
+			}
+		}
+		return m
+	}
+	self := la.JacobiSVD(sub(s.Contacts, s.Contacts))
+	sep := la.JacobiSVD(sub(d.Contacts, s.Contacts))
+	// Normalize both to their largest singular value, as in Fig 4-3.
+	norm := func(v []float64) []float64 {
+		out := make([]float64, len(v))
+		for i := range v {
+			out[i] = v[i] / v[0]
+		}
+		return out
+	}
+	fmt.Println("Fig 4-3: singular values (normalized, log scale)")
+	fmt.Println(render.Series(
+		[]string{"self-interaction G_ss", "well-separated G_ds"},
+		[][]float64{norm(self.Sigma), norm(sep.Sigma)}, 16))
+	return nil
+}
+
+func lowRankSpy() error {
+	c := experiments.ExampleMixed()
+	log.Printf("extracting exact G for %s (n=%d)...", c.Name, c.Layout.N())
+	g, err := experiments.ExactG(c)
+	if err != nil {
+		return err
+	}
+	res, err := core.Extract(solver.NewDense(g), c.Layout, core.Options{
+		Method: core.LowRank, MaxLevel: c.MaxLevel, ThresholdFactor: 6,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig 4-9: spy plot of the low-rank Gwt (mixed-shapes example)")
+	fmt.Println(render.Spy(res.GwReordered(true), 72))
+	return writePGM("fig4-9.pgm", res.GwReordered(true))
+}
+
+func writePGM(name string, m *sparse.Matrix) error {
+	path := filepath.Join(*outDir, name)
+	if err := os.WriteFile(path, []byte(render.SpyPGM(m, 512)), 0o644); err != nil {
+		return err
+	}
+	log.Printf("wrote %s", path)
+	return nil
+}

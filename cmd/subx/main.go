@@ -1,0 +1,168 @@
+// Command subx is the end-to-end substrate-coupling extraction tool: it
+// generates (or loads) a contact layout, builds a black-box substrate
+// solver, runs one of the two sparsification algorithms, and reports the
+// sparsity, solve-reduction and (optionally) accuracy statistics, plus spy
+// plots of the transformed conductance matrix.
+//
+// Usage examples:
+//
+//	subx -layout regular -n 32 -method lowrank
+//	subx -layout mixed -method wavelet -solver fd -spy
+//	subx -layout alternating -n 16 -method lowrank -check -threshold 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"subcouple/internal/bem"
+	"subcouple/internal/core"
+	"subcouple/internal/fd"
+	"subcouple/internal/geom"
+	"subcouple/internal/metrics"
+	"subcouple/internal/render"
+	"subcouple/internal/solver"
+	"subcouple/internal/substrate"
+)
+
+func main() {
+	var (
+		layoutKind = flag.String("layout", "regular", "layout: regular|irregular|alternating|mixed")
+		n          = flag.Int("n", 16, "contacts per side for grid layouts")
+		method     = flag.String("method", "lowrank", "sparsification method: lowrank|wavelet")
+		solverKind = flag.String("solver", "bem", "black-box substrate solver: bem|fd")
+		surface    = flag.Float64("surface", 128, "substrate surface side length")
+		depth      = flag.Float64("depth", 40, "substrate depth")
+		threshold  = flag.Float64("threshold", 6, "extra thresholding factor for Gwt (0 = off)")
+		check      = flag.Bool("check", false, "extract exact G naively and report entrywise errors (slow)")
+		spy        = flag.Bool("spy", false, "print spy plots of Gw (and Gwt)")
+		save       = flag.String("save", "", "write the extracted model (gob) to this file")
+		probes     = flag.Int("probes", 0, "stochastic error estimate with this many probe solves")
+	)
+	flag.Parse()
+	log.SetFlags(log.Ltime)
+
+	// 1. Layout.
+	var raw *geom.Layout
+	switch *layoutKind {
+	case "regular":
+		raw = geom.RegularGrid(*surface, *surface, *n, *n, *surface/float64(*n)/2)
+	case "irregular":
+		raw = geom.IrregularSameSize(*surface, *surface, *n, *n, *surface/float64(*n)/2, 0.6, 7)
+	case "alternating":
+		raw = geom.AlternatingGrid(*surface, *surface, *n, *n, 1, *surface/float64(*n)-1)
+	case "mixed":
+		raw = geom.MixedShapes(*surface)
+	default:
+		log.Fatalf("unknown layout %q", *layoutKind)
+	}
+	if err := raw.Validate(); err != nil {
+		log.Fatalf("layout: %v", err)
+	}
+	layout, maxLevel := core.Prepare(raw, 4)
+	log.Printf("layout %s: %d contacts (%d after splitting), quadtree depth %d",
+		raw.Name, raw.N(), layout.N(), maxLevel)
+
+	// 2. Black-box solver on the thesis substrate (two layers, 100:1
+	// conductivity, resistive shim approximating a floating backplane).
+	prof := substrate.TwoLayer(*surface, *depth, 1, true)
+	var s solver.Solver
+	switch *solverKind {
+	case "bem":
+		np := 1
+		for np < int(*surface) {
+			np *= 2
+		}
+		b, err := bem.New(prof, layout, np)
+		if err != nil {
+			log.Fatalf("bem solver: %v", err)
+		}
+		log.Printf("eigenfunction solver: %d panels per side, %d contact panels", np, b.NumPanels())
+		s = b
+	case "fd":
+		prof.Layers[0].Thickness = 2 // align the layer boundary with the grid
+		prof.Layers[1].Thickness = *depth - 3
+		f, err := fd.New(prof, layout, fd.Options{
+			H: 1, Placement: fd.Inside, Precond: fd.PrecondFastPoisson, AreaWeighted: true,
+		})
+		if err != nil {
+			log.Fatalf("fd solver: %v", err)
+		}
+		log.Printf("finite-difference solver: %d grid nodes", f.NumNodes())
+		s = f
+	default:
+		log.Fatalf("unknown solver %q", *solverKind)
+	}
+
+	// 3. Extract.
+	m := core.LowRank
+	if strings.HasPrefix(*method, "wave") {
+		m = core.Wavelet
+	}
+	res, err := core.Extract(s, layout, core.Options{
+		Method: m, MaxLevel: maxLevel, ThresholdFactor: *threshold,
+	})
+	if err != nil {
+		log.Fatalf("extract: %v", err)
+	}
+
+	// 4. Report.
+	fmt.Printf("\nmethod:            %v\n", m)
+	fmt.Printf("contacts:          %d\n", res.N())
+	fmt.Printf("black-box solves:  %d (naive: %d, reduction %.1fx)\n",
+		res.Solves, res.N(), metrics.SolveReduction(res.N(), res.Solves))
+	fmt.Printf("Gw sparsity:       %.1fx (%d nonzeros)\n", res.Gw.Sparsity(), res.Gw.NNZ())
+	fmt.Printf("Q sparsity:        %.1fx\n", res.Q().Sparsity())
+	if res.Gwt != nil {
+		fmt.Printf("Gwt sparsity:      %.1fx (%d nonzeros)\n", res.Gwt.Sparsity(), res.Gwt.NNZ())
+	}
+
+	if *check {
+		log.Printf("extracting exact G naively for the error check (%d solves)...", res.N())
+		g, err := solver.ExtractDense(s)
+		if err != nil {
+			log.Fatalf("naive extraction: %v", err)
+		}
+		st := metrics.Compare(g, res.Column, nil, 0.1)
+		fmt.Printf("max rel error:     %.2f%%  (entries >10%%: %.2f%%)\n", 100*st.MaxRel, 100*st.FracAbove)
+		if res.Gwt != nil {
+			stt := metrics.Compare(g, res.ColumnThresholded, nil, 0.1)
+			fmt.Printf("thresholded:       max rel %.2f%%, >10%%: %.2f%%\n", 100*stt.MaxRel, 100*stt.FracAbove)
+		}
+	}
+
+	if *probes > 0 {
+		est, err := res.EstimateError(s, *probes, false)
+		if err != nil {
+			log.Fatalf("error estimate: %v", err)
+		}
+		fmt.Printf("probe estimate:    mean rel %.3f%%, max rel %.3f%% over %d probes\n",
+			100*est.MeanRel, 100*est.MaxRel, est.Probes)
+	}
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			log.Fatalf("save: %v", err)
+		}
+		if err := res.Model().Write(f); err != nil {
+			log.Fatalf("save: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("save: %v", err)
+		}
+		log.Printf("model written to %s", *save)
+	}
+
+	if *spy {
+		fmt.Println("\nGw spy plot (quadrant-hierarchical ordering):")
+		fmt.Println(render.Spy(res.GwReordered(false), 72))
+		if res.Gwt != nil {
+			fmt.Println("Gwt spy plot:")
+			fmt.Println(render.Spy(res.GwReordered(true), 72))
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Black-box example — the headline property of the thesis: the
+// sparsification algorithms need *only* a routine that maps contact
+// voltages to contact currents. No kernel, no matrix entries, no knowledge
+// of the solver's internals. Here we plug in a solver subcouple has never
+// seen: a user-written two-sheet resistor model (a resistive epitaxial
+// surface sheet over a conductive buried sheet, joined by vias, with a
+// leaky backplane), and the low-rank method sparsifies it unmodified.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"subcouple/internal/core"
+	"subcouple/internal/geom"
+	"subcouple/internal/la"
+	"subcouple/internal/metrics"
+	"subcouple/internal/solver"
+)
+
+// sheetSolver is the custom black box: two stacked n-by-n resistor sheets.
+// The top (epitaxial) sheet has lateral conductance g, the buried sheet
+// gBulk >> g; vias of conductance gVia join them node-by-node, and every
+// buried node leaks to ground through gLeak. Contacts pin top-sheet node
+// voltages. It answers Solve(v) = contact currents with an internal
+// conjugate-gradient solve — subcouple never sees any of this.
+type sheetSolver struct {
+	grid    int
+	g       float64
+	gBulk   float64
+	gVia    float64
+	gLeak   float64
+	layout  *geom.Layout
+	nodeOf  [][]int // per contact, pinned top-sheet node ids
+	contact []int   // per top-sheet node, owning contact or -1
+}
+
+func newSheetSolver(layout *geom.Layout, grid int, g, gBulk, gVia, gLeak float64) (*sheetSolver, error) {
+	s := &sheetSolver{grid: grid, g: g, gBulk: gBulk, gVia: gVia, gLeak: gLeak, layout: layout}
+	s.contact = make([]int, grid*grid)
+	for i := range s.contact {
+		s.contact[i] = -1
+	}
+	s.nodeOf = make([][]int, layout.N())
+	h := layout.A / float64(grid)
+	for ci, c := range layout.Contacts {
+		for ix := 0; ix < grid; ix++ {
+			x := (float64(ix) + 0.5) * h
+			if x < c.X0 || x > c.X1 {
+				continue
+			}
+			for iy := 0; iy < grid; iy++ {
+				y := (float64(iy) + 0.5) * h
+				if y < c.Y0 || y > c.Y1 {
+					continue
+				}
+				id := ix*grid + iy
+				s.contact[id] = ci
+				s.nodeOf[ci] = append(s.nodeOf[ci], id)
+			}
+		}
+		if len(s.nodeOf[ci]) == 0 {
+			return nil, fmt.Errorf("contact %d covers no sheet node", ci)
+		}
+	}
+	return s, nil
+}
+
+func (s *sheetSolver) N() int { return s.layout.N() }
+
+// applyA computes the two-sheet Laplacian on free nodes (pinned top nodes
+// excluded). Node ids: top sheet [0, n²), buried sheet [n², 2n²).
+func (s *sheetSolver) applyA(x, y []float64) {
+	n := s.grid
+	nn := n * n
+	for layer := 0; layer < 2; layer++ {
+		gl := s.g
+		if layer == 1 {
+			gl = s.gBulk
+		}
+		for ix := 0; ix < n; ix++ {
+			for iy := 0; iy < n; iy++ {
+				id := layer*nn + ix*n + iy
+				if layer == 0 && s.contact[id] >= 0 {
+					y[id] = 0
+					continue
+				}
+				var acc float64
+				for _, nb := range [][2]int{{ix - 1, iy}, {ix + 1, iy}, {ix, iy - 1}, {ix, iy + 1}} {
+					if nb[0] < 0 || nb[1] < 0 || nb[0] >= n || nb[1] >= n {
+						continue
+					}
+					nid := layer*nn + nb[0]*n + nb[1]
+					if layer == 0 && s.contact[nid] >= 0 {
+						acc += gl * x[id] // pinned neighbor: value on RHS
+					} else {
+						acc += gl * (x[id] - x[nid])
+					}
+				}
+				if layer == 0 {
+					// Via down to the buried sheet.
+					acc += s.gVia * (x[id] - x[id+nn])
+				} else {
+					// Via up (top may be pinned) and backplane leak.
+					if s.contact[id-nn] >= 0 {
+						acc += s.gVia * x[id]
+					} else {
+						acc += s.gVia * (x[id] - x[id-nn])
+					}
+					acc += s.gLeak * x[id]
+				}
+				y[id] = acc
+			}
+		}
+	}
+}
+
+func (s *sheetSolver) Solve(v []float64) ([]float64, error) {
+	if len(v) != s.N() {
+		return nil, fmt.Errorf("sheet: got %d voltages, want %d", len(v), s.N())
+	}
+	n := s.grid
+	nn := n * n
+	b := make([]float64, 2*nn)
+	for ci, nodes := range s.nodeOf {
+		for _, id := range nodes {
+			ix, iy := id/n, id%n
+			for _, nb := range [][2]int{{ix - 1, iy}, {ix + 1, iy}, {ix, iy - 1}, {ix, iy + 1}} {
+				if nb[0] < 0 || nb[1] < 0 || nb[0] >= n || nb[1] >= n {
+					continue
+				}
+				nid := nb[0]*n + nb[1]
+				if s.contact[nid] < 0 {
+					b[nid] += s.g * v[ci]
+				}
+			}
+			b[id+nn] += s.gVia * v[ci] // via into the buried sheet
+		}
+	}
+	// Plain CG.
+	x := make([]float64, 2*nn)
+	r := append([]float64(nil), b...)
+	p := append([]float64(nil), b...)
+	ap := make([]float64, 2*nn)
+	rr := la.Dot(r, r)
+	bnorm := la.Norm2(b)
+	for it := 0; it < 20000 && bnorm > 0; it++ {
+		s.applyA(p, ap)
+		alpha := rr / la.Dot(p, ap)
+		la.Axpy(alpha, p, x)
+		la.Axpy(-alpha, ap, r)
+		rrNew := la.Dot(r, r)
+		if la.Norm2(r) < 1e-10*bnorm {
+			break
+		}
+		beta := rrNew / rr
+		rr = rrNew
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+	}
+	// Contact currents: flow out of pinned nodes into the sheets.
+	out := make([]float64, s.N())
+	for ci, nodes := range s.nodeOf {
+		for _, id := range nodes {
+			ix, iy := id/n, id%n
+			cur := s.gVia * (v[ci] - x[id+nn])
+			for _, nb := range [][2]int{{ix - 1, iy}, {ix + 1, iy}, {ix, iy - 1}, {ix, iy + 1}} {
+				if nb[0] < 0 || nb[1] < 0 || nb[0] >= n || nb[1] >= n {
+					continue
+				}
+				nid := nb[0]*n + nb[1]
+				nv := x[nid]
+				if oc := s.contact[nid]; oc >= 0 {
+					nv = v[oc]
+				}
+				cur += s.g * (v[ci] - nv)
+			}
+			out[ci] += cur
+		}
+	}
+	return out, nil
+}
+
+func main() {
+	raw := geom.RegularGrid(64, 64, 16, 16, 2)
+	layout, maxLevel := core.Prepare(raw, 4)
+
+	// The user's own solver: a resistive surface sheet over a 50x more
+	// conductive buried sheet with a weak backplane leak.
+	sheet, err := newSheetSolver(layout, 128, 1.0, 50.0, 2.0, 0.001)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("custom black-box solver: two-sheet resistor model, 32768 internal nodes")
+
+	counting := solver.NewCounting(sheet)
+	res, err := core.Extract(counting, layout, core.Options{
+		Method: core.LowRank, MaxLevel: maxLevel, ThresholdFactor: 6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sparsified with %d solves (naive %d): Gw sparsity %.1fx, Gwt %.1fx\n",
+		res.Solves, res.N(), res.Gw.Sparsity(), res.Gwt.Sparsity())
+
+	// Check a handful of columns against the black box itself.
+	cols := metrics.SampleColumns(res.N(), 16)
+	exact, err := solver.ExtractColumns(sheet, cols)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := metrics.Compare(exact, func(j int) []float64 { return res.Column(cols[j]) }, nil, 0.1)
+	fmt.Printf("on %d sampled columns: max rel error %.2f%%, entries >10%%: %.2f%%\n",
+		len(cols), 100*st.MaxRel, 100*st.FracAbove)
+	fmt.Println("\nthe algorithms never saw the sheet model — only its Solve(v) routine")
+}

@@ -1,0 +1,118 @@
+// Guard-ring design study: how much switching-noise coupling does a
+// grounded guard ring between an aggressor and a victim remove, as a
+// function of ring width? This is the kind of what-if loop a designer runs
+// against the substrate model — and why extracting a reusable sparse model
+// beats calling the field solver inside the loop.
+//
+// For each candidate ring width the example extracts a sparsified model
+// with the low-rank method and evaluates the aggressor→victim transfer; the
+// trend (wider ring, less coupling) comes entirely out of the model.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"subcouple/internal/bem"
+	"subcouple/internal/core"
+	"subcouple/internal/geom"
+	"subcouple/internal/substrate"
+)
+
+// buildLayout places an aggressor block (left), a victim contact (right),
+// and an optional guard ring of the given width between them.
+func buildLayout(ringWidth float64) (*geom.Layout, aggressorVictim) {
+	l := &geom.Layout{A: 64, B: 64, Name: fmt.Sprintf("guard-%g", ringWidth)}
+	var av aggressorVictim
+	// Aggressor: 4x8 block of small noisy contacts on the left.
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 8; j++ {
+			x0 := 4 + float64(i)*4
+			y0 := 16 + float64(j)*4
+			av.aggressor = append(av.aggressor, l.N())
+			l.Contacts = append(l.Contacts, geom.Contact{
+				Rect: geom.Rect{X0: x0, Y0: y0, X1: x0 + 2, Y1: y0 + 2}, Group: l.N(),
+			})
+		}
+	}
+	// Victim: one sensitive contact on the right.
+	av.victim = l.N()
+	l.Contacts = append(l.Contacts, geom.Contact{
+		Rect: geom.Rect{X0: 52, Y0: 28, X1: 58, Y1: 34}, Group: l.N(),
+	})
+	// Guard ring: a vertical grounded strip between them.
+	if ringWidth > 0 {
+		g := l.N()
+		av.ring = append(av.ring, l.N())
+		l.Contacts = append(l.Contacts, geom.Contact{
+			Rect: geom.Rect{X0: 32, Y0: 8, X1: 32 + ringWidth, Y1: 56}, Group: g,
+		})
+	}
+	return l, av
+}
+
+type aggressorVictim struct {
+	aggressor []int
+	victim    int
+	ring      []int
+}
+
+func main() {
+	prof := substrate.TwoLayer(64, 40, 1, true)
+	fmt.Println("guard-ring study: aggressor block left, victim right, ring width swept")
+	fmt.Printf("%-12s %10s %14s %14s %12s\n", "ring width", "contacts", "victim pickup", "ring sink", "reduction")
+
+	var baseline float64
+	for _, width := range []float64{0, 1, 2, 4} {
+		raw, av := buildLayout(width)
+		if err := raw.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		layout, maxLevel := core.Prepare(raw, 4)
+		sol, err := bem.New(prof, layout, 64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := core.Extract(sol, layout, core.Options{Method: core.LowRank, MaxLevel: maxLevel})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Post-split index sets by group.
+		groupOf := func(ci int) int { return layout.Contacts[ci].Group }
+		isAggr := map[int]bool{}
+		for _, a := range av.aggressor {
+			isAggr[a] = true
+		}
+		isRing := map[int]bool{}
+		for _, r := range av.ring {
+			isRing[r] = true
+		}
+
+		// 100 mV bounce on every aggressor contact; victim and ring at 0 V.
+		v := make([]float64, res.N())
+		for ci := range layout.Contacts {
+			if isAggr[groupOf(ci)] {
+				v[ci] = 0.1
+			}
+		}
+		cur := res.Apply(v)
+		var victim, ring float64
+		for ci, c := range cur {
+			switch {
+			case groupOf(ci) == av.victim:
+				victim += c
+			case isRing[groupOf(ci)]:
+				ring += c
+			}
+		}
+		victim = -victim // current flowing out of the victim contact
+		ring = -ring
+		if width == 0 {
+			baseline = victim
+		}
+		red := baseline / victim
+		fmt.Printf("%-12g %10d %14.6f %14.6f %11.2fx\n", width, res.N(), victim, ring, red)
+	}
+	fmt.Println("\n(wider grounded ring sinks more of the noise current before it reaches the victim)")
+}

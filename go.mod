@@ -1,0 +1,3 @@
+module subcouple
+
+go 1.22

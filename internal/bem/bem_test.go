@@ -1,0 +1,284 @@
+package bem
+
+import (
+	"math"
+	"testing"
+
+	"subcouple/internal/geom"
+	"subcouple/internal/solver"
+	"subcouple/internal/substrate"
+)
+
+func smallSetup(t *testing.T) (*substrate.Profile, *geom.Layout) {
+	t.Helper()
+	prof := substrate.Uniform(16, 8, 1, true)
+	layout := geom.RegularGrid(16, 16, 4, 4, 2)
+	return prof, layout
+}
+
+func extractG(t *testing.T, s solver.Solver) [][]float64 {
+	t.Helper()
+	n := s.N()
+	g := make([][]float64, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		e[j] = 1
+		col, err := s.Solve(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e[j] = 0
+		for i := 0; i < n; i++ {
+			if g[i] == nil {
+				g[i] = make([]float64, n)
+			}
+			g[i][j] = col[i]
+		}
+	}
+	return g
+}
+
+func TestNewValidations(t *testing.T) {
+	prof, layout := smallSetup(t)
+	if _, err := New(prof, layout, 12); err == nil {
+		t.Fatalf("expected power-of-two error")
+	}
+	floating := substrate.Uniform(16, 8, 1, false)
+	if _, err := New(floating, layout, 16); err == nil {
+		t.Fatalf("expected grounded-backplane error")
+	}
+	badProf := substrate.Uniform(32, 8, 1, true)
+	if _, err := New(badProf, layout, 16); err == nil {
+		t.Fatalf("expected dimension mismatch error")
+	}
+}
+
+func TestPanelOperatorSymmetricPD(t *testing.T) {
+	prof, layout := smallSetup(t)
+	s, err := New(prof, layout, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check A symmetry on the contact panels via random probes.
+	m := s.NumPanels()
+	if m != 16*4 {
+		t.Fatalf("NumPanels = %d", m)
+	}
+	probe := func(i int) []float64 {
+		q := make([]float64, m)
+		q[i] = 1
+		y := make([]float64, m)
+		field := make([]float64, 16*16)
+		s.applyAcc(q, y, field)
+		return y
+	}
+	a0 := probe(0)
+	a7 := probe(7)
+	if math.Abs(a0[7]-a7[0]) > 1e-12*math.Abs(a0[0]) {
+		t.Fatalf("A_cc not symmetric: %g vs %g", a0[7], a7[0])
+	}
+	if a0[0] <= 0 {
+		t.Fatalf("A_cc diagonal not positive: %g", a0[0])
+	}
+}
+
+func TestConductanceMatrixProperties(t *testing.T) {
+	prof, layout := smallSetup(t)
+	s, err := New(prof, layout, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := extractG(t, s)
+	n := len(g)
+	scale := g[0][0]
+	for i := 0; i < n; i++ {
+		// Symmetry (thesis §2.4).
+		for j := 0; j < n; j++ {
+			if math.Abs(g[i][j]-g[j][i]) > 1e-6*scale {
+				t.Fatalf("G not symmetric at (%d,%d): %g vs %g", i, j, g[i][j], g[j][i])
+			}
+		}
+		// Positive diagonal, negative off-diagonals.
+		if g[i][i] <= 0 {
+			t.Fatalf("G[%d][%d] = %g not positive", i, i, g[i][i])
+		}
+		for j := 0; j < n; j++ {
+			if i != j && g[i][j] >= 0 {
+				t.Fatalf("off-diagonal G[%d][%d] = %g not negative", i, j, g[i][j])
+			}
+		}
+		// Strict diagonal dominance with a grounded backplane.
+		var off float64
+		for j := 0; j < n; j++ {
+			if j != i {
+				off += math.Abs(g[i][j])
+			}
+		}
+		if g[i][i] <= off {
+			t.Fatalf("row %d not strictly diagonally dominant: %g vs %g", i, g[i][i], off)
+		}
+	}
+}
+
+func TestDistanceDecay(t *testing.T) {
+	// Coupling to the nearest neighbor must exceed coupling to the farthest
+	// contact (the basic physics the dense G encodes).
+	prof, layout := smallSetup(t)
+	s, err := New(prof, layout, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := make([]float64, s.N())
+	e[0] = 1 // corner contact (0,0); layout ordered i*4+j
+	col, err := s.Solve(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near := math.Abs(col[1]) // (0,1)
+	far := math.Abs(col[15]) // (3,3)
+	if near <= far {
+		t.Fatalf("no distance decay: near %g vs far %g", near, far)
+	}
+}
+
+func TestVoltageOffsetWithGroundplane(t *testing.T) {
+	// With a grounded backplane, a uniform +1V offset on all contacts
+	// pushes net current into the substrate: currents don't vanish.
+	prof, layout := smallSetup(t)
+	s, err := New(prof, layout, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones := make([]float64, s.N())
+	for i := range ones {
+		ones[i] = 1
+	}
+	out, err := s.Solve(ones)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, v := range out {
+		total += v
+	}
+	if total <= 0 {
+		t.Fatalf("net current %g should be positive with a groundplane", total)
+	}
+}
+
+func TestIterationReporting(t *testing.T) {
+	prof, layout := smallSetup(t)
+	s, err := New(prof, layout, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.AvgIterations() != 0 {
+		t.Fatalf("fresh solver has nonzero iteration average")
+	}
+	e := make([]float64, s.N())
+	e[0] = 1
+	if _, err := s.Solve(e); err != nil {
+		t.Fatal(err)
+	}
+	if s.AvgIterations() <= 0 {
+		t.Fatalf("iteration average not tracked")
+	}
+	s.ResetStats()
+	if s.AvgIterations() != 0 {
+		t.Fatalf("ResetStats failed")
+	}
+}
+
+func TestSolveInputValidation(t *testing.T) {
+	prof, layout := smallSetup(t)
+	s, err := New(prof, layout, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve([]float64{1}); err == nil {
+		t.Fatalf("expected length error")
+	}
+	// Zero voltages → zero currents, no iterations.
+	out, err := s.Solve(make([]float64, s.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out {
+		if v != 0 {
+			t.Fatalf("zero input gave nonzero output")
+		}
+	}
+}
+
+func TestShimProfileGlobalCoupling(t *testing.T) {
+	// The resistive shim (floating-backplane surrogate) makes far coupling
+	// relatively stronger than the plain grounded profile.
+	layout := geom.RegularGrid(128, 128, 8, 8, 4)
+	shim, err := New(substrate.TwoLayer(128, 40, 1, true), layout, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := substrate.TwoLayer(128, 40, 1, false)
+	plain.Grounded = true
+	plain.Layers = []substrate.Layer{{Thickness: 0.5, Sigma: 1}, {Thickness: 39.5, Sigma: 100}}
+	ps, err := New(plain, layout, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := make([]float64, layout.N())
+	e[0] = 1
+	colShim, err := shim.Solve(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colPlain, err := ps.Solve(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Relative far-field coupling |G(n-1,0)|/G(0,0).
+	rs := math.Abs(colShim[layout.N()-1]) / colShim[0]
+	rp := math.Abs(colPlain[layout.N()-1]) / colPlain[0]
+	if rs <= rp {
+		t.Fatalf("shim does not increase global coupling: %g vs %g", rs, rp)
+	}
+}
+
+func TestFastSolverPreconditionerNotPromising(t *testing.T) {
+	// Thesis §2.3.1: the zero-pad-the-lifting preconditioner "is not
+	// promising (the number of iterations isn't reduced much, if at all)".
+	// Verify it converges to the same answer and gives no dramatic
+	// iteration win.
+	prof := substrate.TwoLayer(64, 20, 1, true)
+	layout := geom.RegularGrid(64, 64, 8, 8, 2) // sparse coverage: most of the surface is non-contact
+	plain, err := New(prof, layout, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := New(prof, layout, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre.UseFastSolverPrecond(true)
+	e := make([]float64, layout.N())
+	e[0] = 1
+	want, err := plain.Solve(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pre.Solve(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-5*math.Abs(want[0]) {
+			t.Fatalf("preconditioned answer deviates at %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+	// "Not promising": no more than a 3x reduction (usually none at all).
+	if pre.AvgIterations() < plain.AvgIterations()/3 {
+		t.Fatalf("preconditioner unexpectedly effective: %g vs %g iters",
+			pre.AvgIterations(), plain.AvgIterations())
+	}
+	t.Logf("iterations: plain %g, preconditioned %g (thesis: not reduced much, if at all)",
+		plain.AvgIterations(), pre.AvgIterations())
+}

@@ -1,0 +1,225 @@
+// Package core is subcouple's public facade: given any black-box substrate
+// solver (contact voltages → contact currents) and a contact layout, it
+// extracts a sparse representation G ≈ Q·Gw·Qᵀ of the dense coupling
+// conductance matrix in O(log n) solves, using either the wavelet method
+// (thesis Ch. 3) or the low-rank method (thesis Ch. 4).
+//
+// Typical use:
+//
+//	layout, maxLevel := core.Prepare(rawLayout, 4)
+//	sol, _ := bem.New(profile, layout, 128)      // or fd.New, or your own
+//	res, _ := core.Extract(sol, layout, core.Options{Method: core.LowRank, MaxLevel: maxLevel})
+//	i := res.Apply(v)                             // sparse matvec, O(n log n)
+package core
+
+import (
+	"fmt"
+
+	"subcouple/internal/geom"
+	"subcouple/internal/lowrank"
+	"subcouple/internal/quadtree"
+	"subcouple/internal/solver"
+	"subcouple/internal/sparse"
+	"subcouple/internal/wavelet"
+)
+
+// Method selects the sparsification algorithm.
+type Method int
+
+const (
+	// Wavelet is the Chapter 3 geometric moment-matching method.
+	Wavelet Method = iota
+	// LowRank is the Chapter 4 sampled-SVD method (generally superior on
+	// layouts with mixed contact sizes and shapes).
+	LowRank
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case Wavelet:
+		return "wavelet"
+	case LowRank:
+		return "low-rank"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Options configures Extract.
+type Options struct {
+	Method Method
+	// MaxLevel is the quadtree depth (>= 2). Use Prepare to choose it.
+	MaxLevel int
+	// MomentOrder is the wavelet moment order p (default 2).
+	MomentOrder int
+	// LowRank tunes the low-rank method; zero value means
+	// lowrank.DefaultOptions.
+	LowRank lowrank.Options
+	// ThresholdFactor, when > 0, additionally thresholds Gw to
+	// approximately ThresholdFactor × its unthresholded sparsity (the
+	// thesis uses 6). The thresholded matrix is exposed as Result.Gwt.
+	ThresholdFactor float64
+	// CombineSolves enables solve combining in the wavelet method (the
+	// low-rank method reads its own flag from LowRank). Default true.
+	DisableCombineSolves bool
+}
+
+// Prepare splits a layout at the finest-square boundaries of an
+// automatically chosen quadtree depth (at most maxPerSquare contact pieces
+// per finest square) and returns the split layout with the chosen level.
+// Build your solver against the returned layout.
+func Prepare(l *geom.Layout, maxPerSquare int) (*geom.Layout, int) {
+	if maxPerSquare <= 0 {
+		maxPerSquare = 4
+	}
+	lev := quadtree.ChooseMaxLevel(l, maxPerSquare, 9)
+	return l.SplitToGrid(l.A / float64(int(1)<<lev)), lev
+}
+
+// Result is an extracted sparse representation of G.
+type Result struct {
+	Method Method
+	Layout *geom.Layout
+	Tree   *quadtree.Tree
+	// Gw is the transformed-basis matrix with the algorithm's native
+	// (locality-assumed) sparsity; Gwt is the additionally thresholded
+	// version (nil unless ThresholdFactor > 0).
+	Gw, Gwt *sparse.Matrix
+	// Solves is the number of black-box calls used.
+	Solves int
+
+	wb *wavelet.Basis
+	lt *lowrank.Transformed
+}
+
+// Extract runs the selected sparsification algorithm. The layout must
+// already be split so no contact crosses a finest-level square boundary
+// (see Prepare), and the solver must index contacts exactly as the layout
+// does.
+func Extract(s solver.Solver, layout *geom.Layout, opt Options) (*Result, error) {
+	if s.N() != layout.N() {
+		return nil, fmt.Errorf("core: solver has %d contacts, layout %d", s.N(), layout.N())
+	}
+	if opt.MaxLevel < 2 {
+		return nil, fmt.Errorf("core: MaxLevel must be >= 2 (use Prepare)")
+	}
+	tree, err := quadtree.Build(layout, opt.MaxLevel)
+	if err != nil {
+		return nil, err
+	}
+	counting := solver.NewCounting(s)
+	res := &Result{Method: opt.Method, Layout: layout, Tree: tree}
+
+	switch opt.Method {
+	case Wavelet:
+		p := opt.MomentOrder
+		if p == 0 {
+			p = 2
+		}
+		b, err := wavelet.NewBasis(layout, tree, p)
+		if err != nil {
+			return nil, err
+		}
+		if opt.DisableCombineSolves {
+			res.Gw, err = b.ExtractDirect(counting)
+		} else {
+			res.Gw, err = b.ExtractCombined(counting)
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.wb = b
+	case LowRank:
+		lopt := opt.LowRank
+		if lopt.MaxRank == 0 && lopt.RankTol == 0 {
+			lopt = lowrank.DefaultOptions()
+		}
+		rep, err := lowrank.Build(layout, tree, counting, lopt)
+		if err != nil {
+			return nil, err
+		}
+		tr := rep.Transform()
+		res.Gw = tr.Gw
+		res.lt = tr
+	default:
+		return nil, fmt.Errorf("core: unknown method %v", opt.Method)
+	}
+	res.Solves = counting.Solves
+	if opt.ThresholdFactor > 0 {
+		res.Gwt = res.Gw.ThresholdForSparsity(opt.ThresholdFactor * res.Gw.Sparsity())
+	}
+	return res, nil
+}
+
+// N returns the contact count.
+func (r *Result) N() int { return r.Layout.N() }
+
+// Apply computes Q·Gw·Qᵀ·x, the sparsified conductance operator.
+func (r *Result) Apply(x []float64) []float64 { return r.apply(r.Gw, x) }
+
+// ApplyThresholded computes Q·Gwt·Qᵀ·x (panics if no threshold was
+// requested).
+func (r *Result) ApplyThresholded(x []float64) []float64 {
+	if r.Gwt == nil {
+		panic("core: no thresholded representation (set Options.ThresholdFactor)")
+	}
+	return r.apply(r.Gwt, x)
+}
+
+func (r *Result) apply(gw *sparse.Matrix, x []float64) []float64 {
+	if r.wb != nil {
+		return r.wb.Apply(gw, x)
+	}
+	return r.lt.Apply(gw, x)
+}
+
+// Column returns column j of the sparsified G (using Gw).
+func (r *Result) Column(j int) []float64 {
+	x := make([]float64, r.N())
+	x[j] = 1
+	return r.Apply(x)
+}
+
+// ColumnThresholded returns column j of the thresholded representation.
+func (r *Result) ColumnThresholded(j int) []float64 {
+	x := make([]float64, r.N())
+	x[j] = 1
+	return r.ApplyThresholded(x)
+}
+
+// Q materializes the sparse orthogonal change-of-basis matrix in the
+// presentation ordering used for spy plots.
+func (r *Result) Q() *sparse.Matrix {
+	if r.wb != nil {
+		return r.wb.Q()
+	}
+	return r.lt.Q()
+}
+
+// GwReordered returns Gw (or Gwt when thresholded is true) permuted into
+// the Q presentation ordering, for spy plots.
+func (r *Result) GwReordered(thresholded bool) *sparse.Matrix {
+	gw := r.Gw
+	if thresholded {
+		if r.Gwt == nil {
+			panic("core: no thresholded representation")
+		}
+		gw = r.Gwt
+	}
+	if r.lt != nil {
+		return r.lt.GwReordered(gw)
+	}
+	// Wavelet: permute with the basis column order.
+	order := r.wb.ColumnOrder()
+	pos := make([]int, len(order))
+	for newIdx, oldIdx := range order {
+		pos[oldIdx] = newIdx
+	}
+	var ts []sparse.Triplet
+	for row := 0; row < gw.Rows; row++ {
+		for k := gw.RowPtr[row]; k < gw.RowPtr[row+1]; k++ {
+			ts = append(ts, sparse.Triplet{Row: pos[row], Col: pos[gw.ColIdx[k]], Val: gw.Val[k]})
+		}
+	}
+	return sparse.FromTriplets(gw.Rows, gw.Cols, ts)
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"subcouple/internal/bem"
+	"subcouple/internal/geom"
+	"subcouple/internal/la"
+	"subcouple/internal/lowrank"
+	"subcouple/internal/metrics"
+	"subcouple/internal/solver"
+	"subcouple/internal/substrate"
+)
+
+var cachedG *la.Dense
+
+func setup(t *testing.T) (*geom.Layout, *la.Dense) {
+	t.Helper()
+	layout := geom.RegularGrid(64, 64, 16, 16, 2)
+	if cachedG == nil {
+		prof := substrate.TwoLayer(64, 20, 1, true)
+		s, err := bem.New(prof, layout, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := solver.ExtractDense(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedG = g
+	}
+	return layout, cachedG
+}
+
+func TestPrepare(t *testing.T) {
+	raw := geom.MixedShapes(128)
+	split, lev := Prepare(raw, 4)
+	if lev < 2 {
+		t.Fatalf("Prepare chose level %d", lev)
+	}
+	if split.N() < raw.N() {
+		t.Fatalf("splitting lost contacts")
+	}
+	if err := split.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtractBothMethods(t *testing.T) {
+	layout, g := setup(t)
+	for _, m := range []Method{Wavelet, LowRank} {
+		res, err := Extract(solver.NewDense(g), layout, Options{
+			Method: m, MaxLevel: 4, ThresholdFactor: 6,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if res.Solves <= 0 {
+			t.Fatalf("%v: no solves recorded", m)
+		}
+		if res.Gwt == nil || res.Gwt.Sparsity() < res.Gw.Sparsity() {
+			t.Fatalf("%v: thresholded representation missing or denser", m)
+		}
+		st := metrics.Compare(g, res.Column, metrics.SampleColumns(layout.N(), 32), 0.1)
+		if st.MaxRel > 1.0 {
+			t.Fatalf("%v: unthresholded max rel error %g", m, st.MaxRel)
+		}
+		// Scale-relative check: entries within a few percent of the top.
+		if st.RMSAbs > 0.02*st.ScaleMax {
+			t.Fatalf("%v: RMS error %g vs scale %g", m, st.RMSAbs, st.ScaleMax)
+		}
+	}
+}
+
+func TestApplyConsistentWithColumn(t *testing.T) {
+	layout, g := setup(t)
+	res, err := Extract(solver.NewDense(g), layout, Options{Method: LowRank, MaxLevel: 4, ThresholdFactor: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, res.N())
+	for i := range x {
+		x[i] = math.Cos(float64(i))
+	}
+	y := res.Apply(x)
+	want := make([]float64, res.N())
+	for j, xj := range x {
+		col := res.Column(j)
+		for i := range want {
+			want[i] += xj * col[i]
+		}
+	}
+	for i := range y {
+		if math.Abs(y[i]-want[i]) > 1e-9 {
+			t.Fatalf("Apply inconsistent at %d", i)
+		}
+	}
+	// Thresholded path works too.
+	_ = res.ApplyThresholded(x)
+	_ = res.ColumnThresholded(0)
+}
+
+func TestQAndReordered(t *testing.T) {
+	layout, g := setup(t)
+	for _, m := range []Method{Wavelet, LowRank} {
+		res, err := Extract(solver.NewDense(g), layout, Options{Method: m, MaxLevel: 4, ThresholdFactor: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := res.Q()
+		if q.Rows != layout.N() || q.Cols != layout.N() {
+			t.Fatalf("%v: Q shape %dx%d", m, q.Rows, q.Cols)
+		}
+		perm := res.GwReordered(false)
+		if perm.NNZ() != res.Gw.NNZ() {
+			t.Fatalf("%v: reorder changed nnz", m)
+		}
+		permT := res.GwReordered(true)
+		if permT.NNZ() != res.Gwt.NNZ() {
+			t.Fatalf("%v: thresholded reorder changed nnz", m)
+		}
+	}
+}
+
+func TestExtractValidation(t *testing.T) {
+	layout, g := setup(t)
+	if _, err := Extract(solver.NewDense(la.Eye(3)), layout, Options{MaxLevel: 4}); err == nil {
+		t.Fatalf("expected contact count mismatch")
+	}
+	if _, err := Extract(solver.NewDense(g), layout, Options{MaxLevel: 0}); err == nil {
+		t.Fatalf("expected MaxLevel error")
+	}
+	if _, err := Extract(solver.NewDense(g), layout, Options{MaxLevel: 4, Method: Method(9)}); err == nil {
+		t.Fatalf("expected unknown method error")
+	}
+}
+
+func TestLowRankOptionsPassThrough(t *testing.T) {
+	layout, g := setup(t)
+	opt := lowrank.DefaultOptions()
+	opt.MaxRank = 1
+	res1, err := Extract(solver.NewDense(g), layout, Options{Method: LowRank, MaxLevel: 4, LowRank: opt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res6, err := Extract(solver.NewDense(g), layout, Options{Method: LowRank, MaxLevel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Solves >= res6.Solves {
+		t.Fatalf("rank cap 1 should use fewer solves: %d vs %d", res1.Solves, res6.Solves)
+	}
+	// And it should cost accuracy.
+	cols := metrics.SampleColumns(layout.N(), 16)
+	e1 := metrics.Compare(g, res1.Column, cols, 0.1)
+	e6 := metrics.Compare(g, res6.Column, cols, 0.1)
+	if e1.RMSAbs <= e6.RMSAbs {
+		t.Fatalf("rank cap 1 unexpectedly as accurate: %g vs %g", e1.RMSAbs, e6.RMSAbs)
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if Wavelet.String() != "wavelet" || LowRank.String() != "low-rank" {
+		t.Fatalf("method names wrong")
+	}
+	if Method(7).String() == "" {
+		t.Fatalf("unknown method String empty")
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"subcouple/internal/la"
+	"subcouple/internal/solver"
+)
+
+// ErrorEstimate is a stochastic a-posteriori accuracy estimate of a
+// sparsified representation, addressing the thesis's future-work call for
+// error measures that don't require the exact G (§5.2): k random probe
+// vectors are pushed through both the sparse representation and the black
+// box, and the relative operator error ‖(G − QGwQᵀ)x‖/‖Gx‖ is reported.
+type ErrorEstimate struct {
+	Probes  int
+	MeanRel float64
+	MaxRel  float64
+}
+
+// EstimateError runs k probe solves against the black box s and compares
+// them with the sparsified operator (using Gw; pass thresholded=true to
+// rate Gwt instead). The probes are random unit voltage vectors with a
+// fixed seed, so estimates are reproducible.
+func (r *Result) EstimateError(s solver.Solver, k int, thresholded bool) (ErrorEstimate, error) {
+	if s.N() != r.N() {
+		return ErrorEstimate{}, fmt.Errorf("core: solver has %d contacts, result %d", s.N(), r.N())
+	}
+	if k <= 0 {
+		k = 8
+	}
+	rng := rand.New(rand.NewSource(7))
+	est := ErrorEstimate{Probes: k}
+	var sum float64
+	for p := 0; p < k; p++ {
+		x := make([]float64, r.N())
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		la.Scale(1/la.Norm2(x), x)
+		want, err := s.Solve(x)
+		if err != nil {
+			return ErrorEstimate{}, fmt.Errorf("core: probe solve %d: %w", p, err)
+		}
+		var got []float64
+		if thresholded {
+			got = r.ApplyThresholded(x)
+		} else {
+			got = r.Apply(x)
+		}
+		diff := make([]float64, len(got))
+		for i := range diff {
+			diff[i] = got[i] - want[i]
+		}
+		den := la.Norm2(want)
+		if den == 0 {
+			continue
+		}
+		rel := la.Norm2(diff) / den
+		sum += rel
+		if rel > est.MaxRel {
+			est.MaxRel = rel
+		}
+	}
+	est.MeanRel = sum / float64(k)
+	return est, nil
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"subcouple/internal/la"
+	"subcouple/internal/solver"
+)
+
+func TestEstimateError(t *testing.T) {
+	layout, g := setup(t)
+	ds := solver.NewDense(g)
+	res, err := Extract(ds, layout, Options{Method: LowRank, MaxLevel: 4, ThresholdFactor: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := res.EstimateError(ds, 6, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Probes != 6 {
+		t.Fatalf("probes = %d", est.Probes)
+	}
+	if est.MaxRel <= 0 || est.MaxRel > 0.05 {
+		t.Fatalf("unthresholded operator error estimate %g out of expected range", est.MaxRel)
+	}
+	if est.MeanRel > est.MaxRel {
+		t.Fatalf("mean %g exceeds max %g", est.MeanRel, est.MaxRel)
+	}
+	// The thresholded representation must estimate worse (or equal).
+	estT, err := res.EstimateError(ds, 6, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if estT.MaxRel < est.MaxRel {
+		t.Fatalf("thresholded estimate %g better than unthresholded %g", estT.MaxRel, est.MaxRel)
+	}
+	// Default probe count.
+	est0, err := res.EstimateError(ds, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est0.Probes != 8 {
+		t.Fatalf("default probes = %d", est0.Probes)
+	}
+	// Mismatched solver rejected.
+	if _, err := res.EstimateError(solver.NewDense(la.Eye(3)), 4, false); err == nil {
+		t.Fatalf("expected contact-count error")
+	}
+}
+
+type failingSolver struct{ n int }
+
+func (f *failingSolver) N() int { return f.n }
+func (f *failingSolver) Solve([]float64) ([]float64, error) {
+	return nil, errors.New("substrate solver exploded")
+}
+
+func TestEstimateErrorPropagatesSolverFailure(t *testing.T) {
+	layout, g := setup(t)
+	res, err := Extract(solver.NewDense(g), layout, Options{Method: LowRank, MaxLevel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.EstimateError(&failingSolver{n: layout.N()}, 2, false); err == nil {
+		t.Fatalf("expected propagated solver error")
+	}
+}
+
+func TestExtractPropagatesSolverFailure(t *testing.T) {
+	layout, _ := setup(t)
+	for _, m := range []Method{Wavelet, LowRank} {
+		if _, err := Extract(&failingSolver{n: layout.N()}, layout, Options{Method: m, MaxLevel: 4}); err == nil {
+			t.Fatalf("%v: expected propagated solver error", m)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package core_test
+
+import (
+	"fmt"
+
+	"subcouple/internal/core"
+	"subcouple/internal/experiments"
+	"subcouple/internal/geom"
+	"subcouple/internal/solver"
+)
+
+// ExampleExtract demonstrates the full extraction flow against a dense
+// stand-in solver (any black box satisfying solver.Solver works the same
+// way).
+func ExampleExtract() {
+	raw := geom.RegularGrid(64, 64, 16, 16, 2)
+	layout, maxLevel := core.Prepare(raw, 4)
+
+	// A black-box substrate solver; here a dense matrix stands in for a
+	// field solver.
+	blackBox := solver.NewDense(experiments.SyntheticG(layout))
+
+	res, err := core.Extract(blackBox, layout, core.Options{
+		Method:          core.LowRank,
+		MaxLevel:        maxLevel,
+		ThresholdFactor: 6,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	v := make([]float64, res.N())
+	v[0] = 1
+	i := res.Apply(v)
+	fmt.Printf("contacts: %d\n", res.N())
+	fmt.Printf("self-current positive: %v\n", i[0] > 0)
+	fmt.Printf("coupled current negative: %v\n", i[1] < 0)
+	fmt.Printf("thresholded is sparser: %v\n", res.Gwt.Sparsity() > res.Gw.Sparsity())
+	// Output:
+	// contacts: 256
+	// self-current positive: true
+	// coupled current negative: true
+	// thresholded is sparser: true
+}
+
+// ExamplePrepare shows contact splitting for a layout with large features.
+func ExamplePrepare() {
+	raw := geom.MixedShapes(128)
+	layout, maxLevel := core.Prepare(raw, 4)
+	fmt.Printf("features: %d, contacts after splitting: %d, tree depth: %d\n",
+		raw.N(), layout.N(), maxLevel)
+	// Output:
+	// features: 86, contacts after splitting: 220, tree depth: 4
+}

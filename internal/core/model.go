@@ -1,0 +1,77 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"subcouple/internal/sparse"
+)
+
+// Model is a self-contained, serializable sparsified substrate-coupling
+// model: the sparse orthogonal Q and the transformed conductance matrices,
+// detached from the extraction machinery. This is what a downstream tool
+// (e.g. a circuit simulator embedding the substrate model, thesis §1.1 and
+// [11]) stores and loads — extraction happens once, application is a pair
+// of sparse matvecs.
+type Model struct {
+	N      int
+	Method string
+	Q      *sparse.Matrix
+	Gw     *sparse.Matrix
+	Gwt    *sparse.Matrix // nil if no thresholding was requested
+	Solves int
+}
+
+// Model packages the extraction result for persistence.
+func (r *Result) Model() *Model {
+	m := &Model{
+		N:      r.N(),
+		Method: r.Method.String(),
+		Q:      r.Q(),
+		Gw:     r.GwReordered(false),
+		Solves: r.Solves,
+	}
+	if r.Gwt != nil {
+		m.Gwt = r.GwReordered(true)
+	}
+	return m
+}
+
+// Apply computes Q·Gw·Qᵀ·x.
+func (m *Model) Apply(x []float64) []float64 { return m.apply(m.Gw, x) }
+
+// ApplyThresholded computes Q·Gwt·Qᵀ·x.
+func (m *Model) ApplyThresholded(x []float64) []float64 {
+	if m.Gwt == nil {
+		panic("core: model has no thresholded matrix")
+	}
+	return m.apply(m.Gwt, x)
+}
+
+func (m *Model) apply(gw *sparse.Matrix, x []float64) []float64 {
+	if len(x) != m.N {
+		panic(fmt.Sprintf("core: model apply: %d voltages for %d contacts", len(x), m.N))
+	}
+	return m.Q.MulVec(gw.MulVec(m.Q.MulVecT(x)))
+}
+
+// Write serializes the model with encoding/gob.
+func (m *Model) Write(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(m)
+}
+
+// ReadModel deserializes a model written by Write.
+func ReadModel(r io.Reader) (*Model, error) {
+	var m Model
+	if err := gob.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("core: reading model: %w", err)
+	}
+	if m.Q == nil || m.Gw == nil || m.N <= 0 {
+		return nil, fmt.Errorf("core: model file incomplete")
+	}
+	if m.Q.Rows != m.N || m.Q.Cols != m.N || m.Gw.Rows != m.N || m.Gw.Cols != m.N {
+		return nil, fmt.Errorf("core: model dimensions inconsistent")
+	}
+	return &m, nil
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"subcouple/internal/solver"
+)
+
+func TestModelRoundTrip(t *testing.T) {
+	layout, g := setup(t)
+	for _, m := range []Method{Wavelet, LowRank} {
+		res, err := Extract(solver.NewDense(g), layout, Options{Method: m, MaxLevel: 4, ThresholdFactor: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := res.Model()
+		if model.N != res.N() || model.Method != m.String() || model.Solves != res.Solves {
+			t.Fatalf("%v: model metadata wrong: %+v", m, model)
+		}
+
+		// The model's apply must equal the Result's (same operator, just a
+		// permuted internal basis).
+		x := make([]float64, res.N())
+		for i := range x {
+			x[i] = math.Sin(float64(i) * 1.3)
+		}
+		want := res.Apply(x)
+		got := model.Apply(x)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("%v: model apply deviates at %d: %g vs %g", m, i, got[i], want[i])
+			}
+		}
+		wantT := res.ApplyThresholded(x)
+		gotT := model.ApplyThresholded(x)
+		for i := range gotT {
+			if math.Abs(gotT[i]-wantT[i]) > 1e-9 {
+				t.Fatalf("%v: thresholded model apply deviates at %d", m, i)
+			}
+		}
+
+		// Serialize and reload.
+		var buf bytes.Buffer
+		if err := model.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := ReadModel(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got2 := loaded.Apply(x)
+		for i := range got2 {
+			if got2[i] != got[i] {
+				t.Fatalf("%v: reloaded model differs at %d", m, i)
+			}
+		}
+		if loaded.Gwt == nil {
+			t.Fatalf("%v: thresholded matrix lost in serialization", m)
+		}
+	}
+}
+
+func TestReadModelRejectsGarbage(t *testing.T) {
+	if _, err := ReadModel(bytes.NewReader([]byte("not a model"))); err == nil {
+		t.Fatalf("expected decode error")
+	}
+	var buf bytes.Buffer
+	if err := (&Model{N: 0}).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadModel(&buf); err == nil {
+		t.Fatalf("expected incompleteness error")
+	}
+}

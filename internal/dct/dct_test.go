@@ -1,0 +1,240 @@
+package dct
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFFTKnownValues(t *testing.T) {
+	// FFT of a delta is all-ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	FFT(x)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("delta FFT[%d] = %v", i, v)
+		}
+	}
+	// FFT of constant is a scaled delta.
+	for i := range x {
+		x[i] = 2
+	}
+	FFT(x)
+	if cmplx.Abs(x[0]-16) > 1e-12 {
+		t.Fatalf("const FFT[0] = %v", x[0])
+	}
+	for i := 1; i < 8; i++ {
+		if cmplx.Abs(x[i]) > 1e-12 {
+			t.Fatalf("const FFT[%d] = %v", i, x[i])
+		}
+	}
+}
+
+func TestFFTMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for _, n := range []int{1, 2, 4, 8, 16, 64} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		want := make([]complex128, n)
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				ang := -2 * math.Pi * float64(k*i) / float64(n)
+				want[k] += x[i] * cmplx.Exp(complex(0, ang))
+			}
+		}
+		got := append([]complex128(nil), x...)
+		FFT(got)
+		for k := range got {
+			if cmplx.Abs(got[k]-want[k]) > 1e-9 {
+				t.Fatalf("n=%d k=%d: %v vs %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestFFTIFFTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	x := make([]complex128, 32)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	y := append([]complex128(nil), x...)
+	FFT(y)
+	IFFT(y)
+	for i := range x {
+		if cmplx.Abs(y[i]-x[i]) > 1e-12 {
+			t.Fatalf("round trip failed at %d", i)
+		}
+	}
+}
+
+func TestFFTRejectsNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic on non-power-of-two length")
+		}
+	}()
+	FFT(make([]complex128, 6))
+}
+
+func TestDCT2MatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, n := range []int{1, 2, 4, 8, 32, 128} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := DCT2(x)
+		want := dct2Direct(x)
+		for k := range got {
+			if math.Abs(got[k]-want[k]) > 1e-9 {
+				t.Fatalf("n=%d k=%d: %g vs %g", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestDCT3MatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, n := range []int{2, 4, 16, 64} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := DCT3(x)
+		want := dct3Direct(x)
+		for k := range got {
+			if math.Abs(got[k]-want[k]) > 1e-9 {
+				t.Fatalf("n=%d k=%d: %g vs %g", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestDCTRoundTripProperty(t *testing.T) {
+	// DCT3(DCT2(x)) = (N/2)·x for every signal.
+	f := func(raw []float64) bool {
+		n := 1
+		for n < len(raw) && n < 64 {
+			n *= 2
+		}
+		x := make([]float64, n)
+		for i := range x {
+			if i < len(raw) && !math.IsNaN(raw[i]) && !math.IsInf(raw[i], 0) && math.Abs(raw[i]) < 1e12 {
+				x[i] = raw[i]
+			} else {
+				x[i] = float64(i)
+			}
+		}
+		y := DCT3(DCT2(x))
+		scale := float64(n) / 2
+		var amp float64 = 1
+		for _, v := range x {
+			if math.Abs(v) > amp {
+				amp = math.Abs(v)
+			}
+		}
+		for i := range x {
+			if math.Abs(y[i]-scale*x[i]) > 1e-8*scale*amp {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDCT2CosineModeIsEigenvector(t *testing.T) {
+	// DCT-II of cos(πm(n+½)/N) has a single nonzero bin at k=m with value N/2
+	// (N for m=0).
+	n := 32
+	for _, m := range []int{0, 1, 5, 31} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = math.Cos(math.Pi * float64(m) * (float64(i) + 0.5) / float64(n))
+		}
+		y := DCT2(x)
+		want := float64(n) / 2
+		if m == 0 {
+			want = float64(n)
+		}
+		for k := range y {
+			target := 0.0
+			if k == m {
+				target = want
+			}
+			if math.Abs(y[k]-target) > 1e-9 {
+				t.Fatalf("m=%d k=%d: %g want %g", m, k, y[k], target)
+			}
+		}
+	}
+}
+
+func TestDCT2DRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	nx, ny := 8, 16
+	a := make([]float64, nx*ny)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	orig := append([]float64(nil), a...)
+	DCT2D2(a, nx, ny)
+	DCT2D3(a, nx, ny)
+	scale := float64(nx) / 2 * float64(ny) / 2
+	for i := range a {
+		if math.Abs(a[i]-scale*orig[i]) > 1e-9*scale {
+			t.Fatalf("2D round trip failed at %d: %g vs %g", i, a[i], scale*orig[i])
+		}
+	}
+}
+
+func TestSolveTridiag(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	n := 50
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = rng.Float64()
+		c[i] = rng.Float64()
+		b[i] = 2 + a[i] + c[i] // diagonally dominant
+		x[i] = rng.NormFloat64()
+	}
+	// d = T x.
+	d := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d[i] = b[i] * x[i]
+		if i > 0 {
+			d[i] += a[i] * x[i-1]
+		}
+		if i < n-1 {
+			d[i] += c[i] * x[i+1]
+		}
+	}
+	scratch := make([]float64, n)
+	SolveTridiag(a, b, c, d, scratch)
+	for i := range x {
+		if math.Abs(d[i]-x[i]) > 1e-10 {
+			t.Fatalf("tridiag solve wrong at %d: %g vs %g", i, d[i], x[i])
+		}
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		want bool
+	}{{1, true}, {2, true}, {1024, true}, {0, false}, {-4, false}, {3, false}, {12, false}} {
+		if IsPow2(tc.n) != tc.want {
+			t.Fatalf("IsPow2(%d) = %v", tc.n, !tc.want)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Package dct provides the discrete transforms used by subcouple's substrate
+// solvers: a radix-2 complex FFT, fast DCT-II / DCT-III in one and two
+// dimensions, and a Thomas tridiagonal solver.
+//
+// The fast-Poisson-solver preconditioner of the finite-difference solver
+// (thesis §2.2.2) diagonalizes the grid-of-resistors operator in the DCT
+// basis, and the eigenfunction surface solver (thesis §2.3.1, Fig 2-6)
+// applies the current-to-potential operator as DCT → eigenvalue scaling →
+// inverse DCT.
+package dct
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// FFT computes the in-place forward discrete Fourier transform of x,
+// X_k = Σ_n x_n e^{-2πi kn/N}. len(x) must be a power of two.
+func FFT(x []complex128) { fft(x, false) }
+
+// IFFT computes the in-place inverse DFT of x (including the 1/N factor).
+func IFFT(x []complex128) {
+	fft(x, true)
+	n := float64(len(x))
+	for i := range x {
+		x[i] = complex(real(x[i])/n, imag(x[i])/n)
+	}
+}
+
+func fft(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("dct: FFT length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		ang := sign * 2 * math.Pi / float64(size)
+		wstep := complex(math.Cos(ang), math.Sin(ang))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wstep
+			}
+		}
+	}
+}

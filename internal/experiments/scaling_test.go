@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"testing"
+
+	"subcouple/internal/core"
+	"subcouple/internal/geom"
+	"subcouple/internal/solver"
+)
+
+// TestSolveCountScaling checks the thesis's central complexity claim: the
+// number of black-box solves grows far slower than n (O(log n) for regular
+// layouts, §3.5.1), so the solve-reduction factor n/solves grows with n.
+func TestSolveCountScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling test is slow")
+	}
+	type point struct {
+		n, solves int
+	}
+	run := func(nx, lev int, method core.Method) point {
+		layout := geom.RegularGrid(float64(nx*4), float64(nx*4), nx, nx, 2)
+		g := SyntheticG(layout)
+		c := solver.NewCounting(solver.NewDense(g))
+		if _, err := core.Extract(c, layout, core.Options{Method: method, MaxLevel: lev}); err != nil {
+			t.Fatal(err)
+		}
+		return point{layout.N(), c.Solves}
+	}
+	for _, method := range []core.Method{core.Wavelet, core.LowRank} {
+		small := run(16, 4, method)
+		big := run(32, 5, method)
+		// n quadrupled; solves must grow by far less (the per-level cost is
+		// n-independent, so the increment is roughly one level's worth).
+		growth := float64(big.solves) / float64(small.solves)
+		if growth > 2 {
+			t.Fatalf("%v: solves grew %.2fx while n grew 4x (%d→%d solves for %d→%d contacts)",
+				method, growth, small.solves, big.solves, small.n, big.n)
+		}
+		redSmall := float64(small.n) / float64(small.solves)
+		redBig := float64(big.n) / float64(big.solves)
+		if redBig <= redSmall {
+			t.Fatalf("%v: solve reduction did not improve with n: %.2f → %.2f", method, redSmall, redBig)
+		}
+		t.Logf("%v: n=%d solves=%d (reduction %.1f), n=%d solves=%d (reduction %.1f)",
+			method, small.n, small.solves, redSmall, big.n, big.solves, redBig)
+	}
+}
+
+// TestNNZScaling checks that Gw nonzeros grow like O(n log n), not n²: the
+// sparsity factor n²/nnz must improve as n grows (§3.6).
+func TestNNZScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling test is slow")
+	}
+	run := func(nx, lev int, method core.Method) float64 {
+		layout := geom.RegularGrid(float64(nx*4), float64(nx*4), nx, nx, 2)
+		g := SyntheticG(layout)
+		res, err := core.Extract(solver.NewDense(g), layout, core.Options{Method: method, MaxLevel: lev})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Gw.Sparsity()
+	}
+	for _, method := range []core.Method{core.Wavelet, core.LowRank} {
+		small := run(16, 4, method)
+		big := run(32, 5, method)
+		if big <= 1.5*small {
+			t.Fatalf("%v: sparsity factor not improving n-linearly: %.2f → %.2f", method, small, big)
+		}
+		t.Logf("%v: sparsity factor %.1f at n=256, %.1f at n=1024", method, small, big)
+	}
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"math"
+
+	"subcouple/internal/geom"
+	"subcouple/internal/la"
+)
+
+// SyntheticG builds a dense conductance-like matrix from a smooth decaying
+// kernel: G_ij = −a_i·a_j/(1+r_ij), with the diagonal set for strict
+// dominance. It has the qualitative structure of the substrate G (smooth
+// far field, symmetric, negative off-diagonals) at a fraction of the cost
+// of a real solve, which makes it usable for scaling tests where only the
+// *structure* of the algorithms matters (solve counts are governed by the
+// geometry and the rank caps, not the exact entries).
+func SyntheticG(layout *geom.Layout) *la.Dense {
+	n := layout.N()
+	g := la.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		ci := layout.Contacts[i]
+		for j := i + 1; j < n; j++ {
+			cj := layout.Contacts[j]
+			dx := ci.CenterX() - cj.CenterX()
+			dy := ci.CenterY() - cj.CenterY()
+			r := math.Hypot(dx, dy)
+			v := -ci.Area() * cj.Area() / (1 + r)
+			g.Set(i, j, v)
+			g.Set(j, i, v)
+		}
+	}
+	for i := 0; i < n; i++ {
+		var off float64
+		for j := 0; j < n; j++ {
+			if j != i {
+				off += math.Abs(g.At(i, j))
+			}
+		}
+		g.Set(i, i, 1.1*off+layout.Contacts[i].Area())
+	}
+	return g
+}

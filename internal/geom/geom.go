@@ -1,0 +1,379 @@
+// Package geom models the substrate top surface: rectangular contacts,
+// contact layouts for every example in the thesis, splitting of large
+// contacts at finest-level square boundaries (§3.2), and panelization for
+// the eigenfunction solver (§2.3.1, Fig 2-5).
+//
+// All generators produce contacts on an integer coordinate grid so that
+// contacts align exactly with solver panels and with quadtree square
+// boundaries.
+package geom
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Rect is an axis-aligned rectangle with X0 < X1 and Y0 < Y1.
+type Rect struct {
+	X0, Y0, X1, Y1 float64
+}
+
+// Area returns the rectangle's area.
+func (r Rect) Area() float64 { return (r.X1 - r.X0) * (r.Y1 - r.Y0) }
+
+// CenterX returns the x coordinate of the rectangle's centroid.
+func (r Rect) CenterX() float64 { return (r.X0 + r.X1) / 2 }
+
+// CenterY returns the y coordinate of the rectangle's centroid.
+func (r Rect) CenterY() float64 { return (r.Y0 + r.Y1) / 2 }
+
+// Intersect returns the intersection of r and o and whether it is nonempty.
+func (r Rect) Intersect(o Rect) (Rect, bool) {
+	out := Rect{
+		X0: math.Max(r.X0, o.X0), Y0: math.Max(r.Y0, o.Y0),
+		X1: math.Min(r.X1, o.X1), Y1: math.Min(r.Y1, o.Y1),
+	}
+	if out.X0 >= out.X1 || out.Y0 >= out.Y1 {
+		return Rect{}, false
+	}
+	return out, true
+}
+
+// Overlaps reports whether r and o intersect with positive area.
+func (r Rect) Overlaps(o Rect) bool {
+	_, ok := r.Intersect(o)
+	return ok
+}
+
+// Contact is a rectangular equipotential region on the substrate surface.
+// Group identifies the pre-split contact it came from (its own index when
+// the contact was never split).
+type Contact struct {
+	Rect
+	Group int
+}
+
+// Layout is a set of contacts on the top surface of an A-by-B substrate.
+type Layout struct {
+	A, B     float64
+	Contacts []Contact
+	Name     string
+}
+
+// N returns the number of contacts.
+func (l *Layout) N() int { return len(l.Contacts) }
+
+// Validate checks that contacts lie inside the surface and do not overlap.
+func (l *Layout) Validate() error {
+	surf := Rect{0, 0, l.A, l.B}
+	for i, c := range l.Contacts {
+		if c.X0 < surf.X0 || c.Y0 < surf.Y0 || c.X1 > surf.X1 || c.Y1 > surf.Y1 {
+			return fmt.Errorf("geom: contact %d out of surface bounds: %+v", i, c.Rect)
+		}
+		if c.X0 >= c.X1 || c.Y0 >= c.Y1 {
+			return fmt.Errorf("geom: contact %d degenerate: %+v", i, c.Rect)
+		}
+	}
+	for i := 0; i < len(l.Contacts); i++ {
+		for j := i + 1; j < len(l.Contacts); j++ {
+			if l.Contacts[i].Overlaps(l.Contacts[j].Rect) {
+				return fmt.Errorf("geom: contacts %d and %d overlap", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// TotalContactArea returns the summed area of all contacts.
+func (l *Layout) TotalContactArea() float64 {
+	var s float64
+	for _, c := range l.Contacts {
+		s += c.Area()
+	}
+	return s
+}
+
+// SplitToGrid cuts every contact at multiples of cell so that each resulting
+// piece lies within one cell-by-cell square, as the sparsification algorithms
+// require (thesis §3.2: "contacts do not cross square boundaries at any
+// level ... splitting large contacts into many smaller ones using the finest
+// level square boundaries may be necessary"). Each piece keeps the Group of
+// its source contact. Contacts already inside one cell pass through intact.
+func (l *Layout) SplitToGrid(cell float64) *Layout {
+	out := &Layout{A: l.A, B: l.B, Name: l.Name}
+	for gi, c := range l.Contacts {
+		group := c.Group
+		if group == 0 && gi != 0 {
+			group = gi
+		}
+		i0 := int(math.Floor(c.X0 / cell))
+		i1 := int(math.Ceil(c.X1/cell)) - 1
+		j0 := int(math.Floor(c.Y0 / cell))
+		j1 := int(math.Ceil(c.Y1/cell)) - 1
+		for i := i0; i <= i1; i++ {
+			for j := j0; j <= j1; j++ {
+				sq := Rect{float64(i) * cell, float64(j) * cell, float64(i+1) * cell, float64(j+1) * cell}
+				if piece, ok := c.Intersect(sq); ok {
+					out.Contacts = append(out.Contacts, Contact{Rect: piece, Group: group})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RegularGrid builds the Fig 3-6 layout: an nx-by-ny grid of identical
+// square contacts of side size, centered in their pitch cells, on an a-by-b
+// surface.
+func RegularGrid(a, b float64, nx, ny int, size float64) *Layout {
+	l := &Layout{A: a, B: b, Name: fmt.Sprintf("regular-%dx%d", nx, ny)}
+	px, py := a/float64(nx), b/float64(ny)
+	if size > px || size > py {
+		panic("geom: RegularGrid contact size exceeds pitch")
+	}
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			x0 := float64(i)*px + (px-size)/2
+			y0 := float64(j)*py + (py-size)/2
+			l.Contacts = append(l.Contacts, Contact{
+				Rect:  Rect{x0, y0, x0 + size, y0 + size},
+				Group: len(l.Contacts),
+			})
+		}
+	}
+	return l
+}
+
+// IrregularSameSize builds the Fig 3-7 layout: contacts of one size placed
+// at an irregular subset of grid positions, leaving many large gaps. frac is
+// the fraction of grid cells occupied; the selection is deterministic for a
+// given seed.
+func IrregularSameSize(a, b float64, nx, ny int, size float64, frac float64, seed int64) *Layout {
+	l := &Layout{A: a, B: b, Name: fmt.Sprintf("irregular-%dx%d", nx, ny)}
+	rng := rand.New(rand.NewSource(seed))
+	px, py := a/float64(nx), b/float64(ny)
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			if rng.Float64() >= frac {
+				continue
+			}
+			x0 := float64(i)*px + (px-size)/2
+			y0 := float64(j)*py + (py-size)/2
+			l.Contacts = append(l.Contacts, Contact{
+				Rect:  Rect{x0, y0, x0 + size, y0 + size},
+				Group: len(l.Contacts),
+			})
+		}
+	}
+	return l
+}
+
+// AlternatingGrid builds the Fig 3-8 layout: an nx-by-ny grid whose rows
+// alternate between large and small contacts ("oscillatory-size" in Ch. 4).
+// Offsets are floored to integers so contacts stay aligned with unit panel
+// grids.
+func AlternatingGrid(a, b float64, nx, ny int, small, large float64) *Layout {
+	l := &Layout{A: a, B: b, Name: fmt.Sprintf("alternating-%dx%d", nx, ny)}
+	px, py := a/float64(nx), b/float64(ny)
+	if large > px || large > py {
+		panic("geom: AlternatingGrid large contact exceeds pitch")
+	}
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			size := small
+			if j%2 == 0 {
+				size = large
+			}
+			x0 := float64(i)*px + math.Floor((px-size)/2)
+			y0 := float64(j)*py + math.Floor((py-size)/2)
+			l.Contacts = append(l.Contacts, Contact{
+				Rect:  Rect{x0, y0, x0 + size, y0 + size},
+				Group: len(l.Contacts),
+			})
+		}
+	}
+	return l
+}
+
+// addRect appends one contact covering r with a fresh group id.
+func (l *Layout) addRect(r Rect) {
+	l.Contacts = append(l.Contacts, Contact{Rect: r, Group: len(l.Contacts)})
+}
+
+// addRing appends a square ring (annulus of width w) as four rectangles that
+// share one group id: the ring is a single conductor, later split at square
+// boundaries by SplitToGrid.
+func (l *Layout) addRing(x0, y0, outer, w float64) {
+	g := len(l.Contacts)
+	add := func(r Rect) {
+		l.Contacts = append(l.Contacts, Contact{Rect: r, Group: g})
+	}
+	add(Rect{x0, y0, x0 + outer, y0 + w})                         // bottom
+	add(Rect{x0, y0 + outer - w, x0 + outer, y0 + outer})         // top
+	add(Rect{x0, y0 + w, x0 + w, y0 + outer - w})                 // left
+	add(Rect{x0 + outer - w, y0 + w, x0 + outer, y0 + outer - w}) // right
+}
+
+// MixedShapes builds the Fig 4-8 layout: small square contacts, long thin
+// contacts, and rings — "all features of real substrate contact layouts".
+// The surface is a-by-a; all features sit on the unit integer grid.
+func MixedShapes(a float64) *Layout {
+	l := &Layout{A: a, B: a, Name: "mixed-shapes"}
+	// Bands of small square contacts (2x2) in the lower-left region.
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			x0 := 4 + float64(i)*6
+			y0 := 4 + float64(j)*6
+			l.addRect(Rect{x0, y0, x0 + 2, y0 + 2})
+		}
+	}
+	// Long thin horizontal contacts (guard-band style) across the top.
+	for k := 0; k < 6; k++ {
+		y0 := a - 14 - float64(k)*8
+		l.addRect(Rect{6, y0, a - 6, y0 + 2})
+	}
+	// Long thin vertical contacts on the right.
+	for k := 0; k < 4; k++ {
+		x0 := a - 12 - float64(k)*8
+		l.addRect(Rect{x0, 6, x0 + 2, a / 2})
+	}
+	// Guard rings around sensitive blocks.
+	l.addRing(56, 8, 16, 2)
+	l.addRing(56, 32, 16, 2)
+	l.addRing(8, 50, 20, 2)
+	return l
+}
+
+// LargeMixed builds the Fig 4-10 style large example: a dense field of
+// alternating large and small contacts with carved-out macro-block holes,
+// sized to reach the requested contact count nTarget on an n-by-n grid of
+// integer pitch a/n (which must be >= 2). Small contacts are 1×1, large
+// contacts pitch/2+1 square, all on integer coordinates so any power-of-two
+// panel grid of unit panels aligns. The thesis Example 5 has 10240 contacts.
+func LargeMixed(a float64, n int, nTarget int) *Layout {
+	l := &Layout{A: a, B: a, Name: fmt.Sprintf("large-mixed-%d", nTarget)}
+	rng := rand.New(rand.NewSource(99))
+	px := a / float64(n)
+	if px != math.Trunc(px) || px < 2 {
+		panic("geom: LargeMixed requires integer pitch >= 2")
+	}
+	big := math.Trunc(px/2) + 1
+	// Carve out a few rectangular "macro block" holes.
+	holes := []Rect{
+		{a * 0.1, a * 0.55, a * 0.35, a * 0.9},
+		{a * 0.6, a * 0.1, a * 0.9, a * 0.3},
+		{a * 0.45, a * 0.45, a * 0.6, a * 0.6},
+	}
+	for i := 0; i < n && l.N() < nTarget; i++ {
+		for j := 0; j < n && l.N() < nTarget; j++ {
+			size := 1.0
+			if (i+j)%2 == 0 {
+				size = big
+			}
+			x0 := float64(i) * px
+			y0 := float64(j) * px
+			r := Rect{x0, y0, x0 + size, y0 + size}
+			inHole := false
+			for _, h := range holes {
+				if r.Overlaps(h) {
+					inHole = true
+					break
+				}
+			}
+			if inHole && rng.Float64() < 0.85 {
+				continue
+			}
+			l.addRect(r)
+		}
+	}
+	return l
+}
+
+// TwoPlusFour builds the Fig 4-1 intuition layout: one small and one large
+// contact in a source square, and four identical contacts in a faraway
+// destination square. Returns the layout plus the index sets of the source
+// (s) and destination (d) contacts.
+func TwoPlusFour(a float64) (l *Layout, s, d []int) {
+	l = &Layout{A: a, B: a, Name: "two-plus-four"}
+	u := a / 16
+	// Source square near lower-left: small contact (1u) and large (1.5u).
+	l.addRect(Rect{1 * u, 2 * u, 2 * u, 3 * u})
+	l.addRect(Rect{2.5 * u, 1 * u, 4 * u, 2.5 * u})
+	// Destination 2x2 block of contacts near the far corner.
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			x0 := (11 + 2*float64(i)) * u
+			y0 := (11 + 2*float64(j)) * u
+			l.addRect(Rect{x0, y0, x0 + u, y0 + u})
+		}
+	}
+	return l, []int{0, 1}, []int{2, 3, 4, 5}
+}
+
+// Panelization maps contacts onto a uniform np-by-np panel grid covering the
+// surface (panels of size A/np by B/np). Every contact must be an exact
+// union of panels.
+type Panelization struct {
+	NP            int     // panels per side
+	PanelW        float64 // panel width  (A/np)
+	PanelH        float64 // panel height (B/np)
+	ContactPanels [][]int // for each contact, the flat panel indices ix*np+iy
+	PanelContact  []int   // for each panel, owning contact index or -1
+}
+
+// Panelize builds a Panelization with np panels per side. It returns an
+// error if a contact edge does not align with the panel grid (within 1e-9)
+// or two contacts claim the same panel.
+func Panelize(l *Layout, np int) (*Panelization, error) {
+	p := &Panelization{
+		NP:     np,
+		PanelW: l.A / float64(np),
+		PanelH: l.B / float64(np),
+	}
+	p.PanelContact = make([]int, np*np)
+	for i := range p.PanelContact {
+		p.PanelContact[i] = -1
+	}
+	p.ContactPanels = make([][]int, l.N())
+	snap := func(v, unit float64) (int, error) {
+		f := v / unit
+		r := math.Round(f)
+		if math.Abs(f-r) > 1e-9 {
+			return 0, fmt.Errorf("geom: coordinate %g not aligned to panel grid %g", v, unit)
+		}
+		return int(r), nil
+	}
+	for ci, c := range l.Contacts {
+		i0, err := snap(c.X0, p.PanelW)
+		if err != nil {
+			return nil, err
+		}
+		i1, err := snap(c.X1, p.PanelW)
+		if err != nil {
+			return nil, err
+		}
+		j0, err := snap(c.Y0, p.PanelH)
+		if err != nil {
+			return nil, err
+		}
+		j1, err := snap(c.Y1, p.PanelH)
+		if err != nil {
+			return nil, err
+		}
+		for i := i0; i < i1; i++ {
+			for j := j0; j < j1; j++ {
+				idx := i*np + j
+				if p.PanelContact[idx] != -1 {
+					return nil, fmt.Errorf("geom: panel %d claimed by contacts %d and %d", idx, p.PanelContact[idx], ci)
+				}
+				p.PanelContact[idx] = ci
+				p.ContactPanels[ci] = append(p.ContactPanels[ci], idx)
+			}
+		}
+		if len(p.ContactPanels[ci]) == 0 {
+			return nil, fmt.Errorf("geom: contact %d covers no panels at np=%d", ci, np)
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,225 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRectBasics(t *testing.T) {
+	r := Rect{0, 0, 2, 3}
+	if r.Area() != 6 {
+		t.Fatalf("Area = %g", r.Area())
+	}
+	if r.CenterX() != 1 || r.CenterY() != 1.5 {
+		t.Fatalf("center wrong")
+	}
+	o := Rect{1, 1, 5, 5}
+	inter, ok := r.Intersect(o)
+	if !ok || inter != (Rect{1, 1, 2, 3}) {
+		t.Fatalf("Intersect = %+v ok=%v", inter, ok)
+	}
+	if _, ok := r.Intersect(Rect{2, 0, 3, 1}); ok {
+		t.Fatalf("touching rects must not intersect")
+	}
+	if r.Overlaps(Rect{10, 10, 11, 11}) {
+		t.Fatalf("disjoint rects overlap")
+	}
+}
+
+func TestRegularGrid(t *testing.T) {
+	l := RegularGrid(128, 128, 32, 32, 2)
+	if l.N() != 1024 {
+		t.Fatalf("N = %d", l.N())
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.TotalContactArea()-1024*4) > 1e-9 {
+		t.Fatalf("area = %g", l.TotalContactArea())
+	}
+}
+
+func TestIrregularSameSize(t *testing.T) {
+	l := IrregularSameSize(128, 128, 32, 32, 2, 0.6, 7)
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.N() < 400 || l.N() > 800 {
+		t.Fatalf("unexpected occupancy: %d", l.N())
+	}
+	// Deterministic.
+	l2 := IrregularSameSize(128, 128, 32, 32, 2, 0.6, 7)
+	if l2.N() != l.N() {
+		t.Fatalf("generator not deterministic")
+	}
+	// All contacts same size.
+	for _, c := range l.Contacts {
+		if math.Abs(c.Area()-4) > 1e-9 {
+			t.Fatalf("contact size varies: %g", c.Area())
+		}
+	}
+}
+
+func TestAlternatingGrid(t *testing.T) {
+	l := AlternatingGrid(128, 128, 32, 32, 1, 3)
+	if l.N() != 1024 {
+		t.Fatalf("N = %d", l.N())
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sizes := map[float64]int{}
+	for _, c := range l.Contacts {
+		sizes[c.Area()]++
+	}
+	if len(sizes) != 2 || sizes[1] != 512 || sizes[9] != 512 {
+		t.Fatalf("size distribution wrong: %v", sizes)
+	}
+}
+
+func TestMixedShapes(t *testing.T) {
+	l := MixedShapes(128)
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.N() < 70 {
+		t.Fatalf("too few features: %d", l.N())
+	}
+	// Rings contribute multiple rects per group.
+	groups := map[int]int{}
+	for _, c := range l.Contacts {
+		groups[c.Group]++
+	}
+	multi := 0
+	for _, n := range groups {
+		if n > 1 {
+			multi++
+		}
+	}
+	if multi != 3 {
+		t.Fatalf("want 3 ring groups, got %d", multi)
+	}
+}
+
+func TestLargeMixed(t *testing.T) {
+	l := LargeMixed(256, 128, 10240)
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.N() != 10240 {
+		t.Fatalf("N = %d want 10240", l.N())
+	}
+}
+
+func TestTwoPlusFour(t *testing.T) {
+	l, s, d := TwoPlusFour(64)
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 2 || len(d) != 4 || l.N() != 6 {
+		t.Fatalf("index sets wrong")
+	}
+	// Source contacts differ in size (the essence of the §4.1 example).
+	if math.Abs(l.Contacts[s[0]].Area()-l.Contacts[s[1]].Area()) < 1e-9 {
+		t.Fatalf("source contacts should differ in size")
+	}
+}
+
+func TestSplitToGridPreservesArea(t *testing.T) {
+	l := &Layout{A: 16, B: 16}
+	l.addRect(Rect{1, 1, 7, 3})   // spans multiple 4-cells
+	l.addRect(Rect{9, 9, 10, 10}) // already inside one cell
+	split := l.SplitToGrid(4)
+	if err := split.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(split.TotalContactArea()-l.TotalContactArea()) > 1e-9 {
+		t.Fatalf("split changed area: %g vs %g", split.TotalContactArea(), l.TotalContactArea())
+	}
+	// Every piece inside one cell.
+	for i, c := range split.Contacts {
+		if math.Floor(c.X0/4) != math.Ceil(c.X1/4)-1 || math.Floor(c.Y0/4) != math.Ceil(c.Y1/4)-1 {
+			t.Fatalf("piece %d crosses a cell boundary: %+v", i, c.Rect)
+		}
+	}
+	// Group preserved: first contact split into pieces sharing group 0.
+	n0 := 0
+	for _, c := range split.Contacts {
+		if c.Group == 0 {
+			n0++
+		}
+	}
+	if n0 != 2 {
+		t.Fatalf("want 2 pieces in group 0, got %d", n0)
+	}
+}
+
+func TestSplitToGridProperty(t *testing.T) {
+	f := func(x0, y0, w, h uint8) bool {
+		r := Rect{float64(x0 % 50), float64(y0 % 50), 0, 0}
+		r.X1 = r.X0 + 1 + float64(w%14)
+		r.Y1 = r.Y0 + 1 + float64(h%14)
+		l := &Layout{A: 64, B: 64}
+		l.addRect(r)
+		split := l.SplitToGrid(8)
+		return math.Abs(split.TotalContactArea()-r.Area()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanelize(t *testing.T) {
+	l := RegularGrid(16, 16, 4, 4, 2)
+	p, err := Panelize(l, 16) // 1x1 panels
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci, panels := range p.ContactPanels {
+		if len(panels) != 4 {
+			t.Fatalf("contact %d has %d panels, want 4", ci, len(panels))
+		}
+	}
+	// Panel ownership is consistent.
+	owned := 0
+	for pi, ci := range p.PanelContact {
+		if ci >= 0 {
+			owned++
+			found := false
+			for _, q := range p.ContactPanels[ci] {
+				if q == pi {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("panel %d not in owner's list", pi)
+			}
+		}
+	}
+	if owned != 16*4 {
+		t.Fatalf("owned panels = %d", owned)
+	}
+}
+
+func TestPanelizeMisaligned(t *testing.T) {
+	l := &Layout{A: 16, B: 16}
+	l.addRect(Rect{0.5, 0, 2, 2})
+	if _, err := Panelize(l, 16); err == nil {
+		t.Fatalf("expected alignment error")
+	}
+}
+
+func TestValidateCatchesOverlap(t *testing.T) {
+	l := &Layout{A: 16, B: 16}
+	l.addRect(Rect{0, 0, 4, 4})
+	l.addRect(Rect{2, 2, 6, 6})
+	if err := l.Validate(); err == nil {
+		t.Fatalf("expected overlap error")
+	}
+	l2 := &Layout{A: 4, B: 4}
+	l2.addRect(Rect{0, 0, 8, 2})
+	if err := l2.Validate(); err == nil {
+		t.Fatalf("expected out-of-bounds error")
+	}
+}

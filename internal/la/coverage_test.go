@@ -1,0 +1,88 @@
+package la
+
+import (
+	"math"
+	"testing"
+)
+
+func expectPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", name)
+		}
+	}()
+	f()
+}
+
+func TestDimensionPanics(t *testing.T) {
+	a := NewDense(2, 3)
+	b := NewDense(2, 3)
+	expectPanic(t, "NewDense negative", func() { NewDense(-1, 2) })
+	expectPanic(t, "NewDenseFrom mismatch", func() { NewDenseFrom(2, 2, []float64{1}) })
+	expectPanic(t, "Mul mismatch", func() { Mul(a, b) })
+	expectPanic(t, "MulTA mismatch", func() { MulTA(a, NewDense(3, 2)) })
+	expectPanic(t, "MulTB mismatch", func() { MulTB(a, NewDense(2, 4)) })
+	expectPanic(t, "MulVec mismatch", func() { a.MulVec([]float64{1}) })
+	expectPanic(t, "MulVecT mismatch", func() { a.MulVecT([]float64{1}) })
+	expectPanic(t, "SetCol mismatch", func() { a.SetCol(0, []float64{1}) })
+	expectPanic(t, "Slice range", func() { a.Slice(0, 3, 0, 1) })
+	expectPanic(t, "Dot mismatch", func() { Dot([]float64{1}, []float64{1, 2}) })
+	expectPanic(t, "Axpy mismatch", func() { Axpy(1, []float64{1}, []float64{1, 2}) })
+	expectPanic(t, "Add mismatch", func() { Add(a, NewDense(3, 3)) })
+	expectPanic(t, "Sub mismatch", func() { Sub(a, NewDense(3, 3)) })
+	expectPanic(t, "JacobiSVD wide", func() { JacobiSVD(NewDense(2, 3)) })
+	expectPanic(t, "QRFactor wide", func() { QRFactor(NewDense(2, 3)) })
+	expectPanic(t, "Cholesky non-square", func() { Cholesky(a) })
+	expectPanic(t, "SolveUpper mismatch", func() { SolveUpper(NewDense(2, 2), []float64{1}) })
+	expectPanic(t, "SolveLower mismatch", func() { SolveLower(NewDense(2, 2), []float64{1}) })
+	expectPanic(t, "SolveSPD indefinite", func() {
+		SolveSPD(NewDenseFrom(2, 2, []float64{1, 2, 2, 1}), []float64{1, 1})
+	})
+	expectPanic(t, "SolveUpper singular", func() { SolveUpper(NewDense(2, 2), []float64{1, 1}) })
+	expectPanic(t, "SolveLower singular", func() { SolveLower(NewDense(2, 2), []float64{1, 1}) })
+}
+
+func TestCols2AndMaxAbsAndFrob(t *testing.T) {
+	m := NewDenseFrom(2, 3, []float64{1, -5, 2, 0, 3, -1})
+	c := m.Cols2(1, 3)
+	if c.Rows != 2 || c.Cols != 2 || c.At(0, 0) != -5 || c.At(1, 1) != -1 {
+		t.Fatalf("Cols2 wrong: %+v", c)
+	}
+	if m.MaxAbs() != 5 {
+		t.Fatalf("MaxAbs = %g", m.MaxAbs())
+	}
+	want := math.Sqrt(1 + 25 + 4 + 9 + 1)
+	if math.Abs(m.FrobNorm()-want) > 1e-12 {
+		t.Fatalf("FrobNorm = %g want %g", m.FrobNorm(), want)
+	}
+	if NewDense(0, 0).MaxAbs() != 0 {
+		t.Fatalf("empty MaxAbs")
+	}
+}
+
+func TestAxpyZeroAlphaAndScale(t *testing.T) {
+	x := []float64{1, 2}
+	y := []float64{3, 4}
+	Axpy(0, x, y)
+	if y[0] != 3 || y[1] != 4 {
+		t.Fatalf("Axpy(0) modified y")
+	}
+	Axpy(2, x, y)
+	if y[0] != 5 || y[1] != 8 {
+		t.Fatalf("Axpy wrong: %v", y)
+	}
+	Scale(-1, y)
+	if y[0] != -5 || y[1] != -8 {
+		t.Fatalf("Scale wrong: %v", y)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := NewDenseFrom(1, 2, []float64{1, 2})
+	b := a.Clone()
+	b.Set(0, 0, 9)
+	if a.At(0, 0) != 1 {
+		t.Fatalf("Clone shares storage")
+	}
+}

@@ -1,0 +1,201 @@
+package la
+
+import "math"
+
+// QR holds a Householder QR factorization A = Q·R of an m-by-n matrix with
+// m >= n. Q is m-by-m orthogonal (accumulated explicitly on demand) and R is
+// m-by-n upper trapezoidal.
+type QR struct {
+	m, n int
+	// qr holds the factored form: R in the upper triangle, Householder
+	// vectors below the diagonal.
+	qr   *Dense
+	taus []float64
+}
+
+// QRFactor computes the Householder QR factorization of a. The input is not
+// modified. Requires a.Rows >= a.Cols.
+func QRFactor(a *Dense) *QR {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic("la: QRFactor requires rows >= cols")
+	}
+	qr := a.Clone()
+	taus := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Build the Householder reflector for column k.
+		var norm float64
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, qr.At(i, k))
+		}
+		if norm == 0 {
+			taus[k] = 0
+			continue
+		}
+		if qr.At(k, k) > 0 {
+			norm = -norm
+		}
+		for i := k; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)/norm)
+		}
+		qr.Set(k, k, qr.At(k, k)+1)
+		taus[k] = qr.At(k, k)
+		// Apply the reflector to the remaining columns.
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s = -s / qr.At(k, k)
+			for i := k; i < m; i++ {
+				qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+			}
+		}
+		qr.Set(k, k, -norm) // store R diagonal; v is implicitly 1 at (k,k)... see note
+		// Note: we store v_k scaled so v_k[k]=tau_k; the diagonal entry of R
+		// replaces it, and taus[k] remembers v_k[k].
+	}
+	return &QR{m: m, n: n, qr: qr, taus: taus}
+}
+
+// R returns the n-by-n upper-triangular factor.
+func (f *QR) R() *Dense {
+	r := NewDense(f.n, f.n)
+	for i := 0; i < f.n; i++ {
+		for j := i; j < f.n; j++ {
+			r.Set(i, j, f.qr.At(i, j))
+		}
+	}
+	return r
+}
+
+// FullQ accumulates and returns the m-by-m orthogonal factor Q.
+func (f *QR) FullQ() *Dense {
+	q := Eye(f.m)
+	f.applyQ(q)
+	return q
+}
+
+// ThinQ returns the first n columns of Q (an m-by-n matrix with orthonormal
+// columns spanning the column space of A when A has full column rank).
+func (f *QR) ThinQ() *Dense {
+	q := NewDense(f.m, f.n)
+	for i := 0; i < f.n; i++ {
+		q.Set(i, i, 1)
+	}
+	f.applyQ(q)
+	return q
+}
+
+// applyQ overwrites x with Q·x by applying the Householder reflectors in
+// reverse order.
+func (f *QR) applyQ(x *Dense) {
+	for k := f.n - 1; k >= 0; k-- {
+		if f.taus[k] == 0 {
+			continue
+		}
+		vk := f.householder(k)
+		for j := 0; j < x.Cols; j++ {
+			var s float64
+			for i := k; i < f.m; i++ {
+				s += vk[i-k] * x.At(i, j)
+			}
+			s = -s / vk[0]
+			for i := k; i < f.m; i++ {
+				x.Set(i, j, x.At(i, j)+s*vk[i-k])
+			}
+		}
+	}
+}
+
+// householder reconstructs the k-th Householder vector (length m-k).
+func (f *QR) householder(k int) []float64 {
+	v := make([]float64, f.m-k)
+	v[0] = f.taus[k]
+	for i := k + 1; i < f.m; i++ {
+		v[i-k] = f.qr.At(i, k)
+	}
+	return v
+}
+
+// SolveUpper solves R x = b for upper-triangular R (in place on a copy of b).
+func SolveUpper(r *Dense, b []float64) []float64 {
+	n := r.Rows
+	if r.Cols != n || len(b) != n {
+		panic("la: SolveUpper dimension mismatch")
+	}
+	x := make([]float64, n)
+	copy(x, b)
+	for i := n - 1; i >= 0; i-- {
+		for j := i + 1; j < n; j++ {
+			x[i] -= r.At(i, j) * x[j]
+		}
+		d := r.At(i, i)
+		if d == 0 {
+			panic("la: SolveUpper singular matrix")
+		}
+		x[i] /= d
+	}
+	return x
+}
+
+// SolveLower solves L x = b for lower-triangular L.
+func SolveLower(l *Dense, b []float64) []float64 {
+	n := l.Rows
+	if l.Cols != n || len(b) != n {
+		panic("la: SolveLower dimension mismatch")
+	}
+	x := make([]float64, n)
+	copy(x, b)
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			x[i] -= l.At(i, j) * x[j]
+		}
+		d := l.At(i, i)
+		if d == 0 {
+			panic("la: SolveLower singular matrix")
+		}
+		x[i] /= d
+	}
+	return x
+}
+
+// Cholesky computes the lower-triangular Cholesky factor L of a symmetric
+// positive definite matrix a (a = L·Lᵀ). It returns nil if a is not positive
+// definite.
+func Cholesky(a *Dense) *Dense {
+	n := a.Rows
+	if a.Cols != n {
+		panic("la: Cholesky requires a square matrix")
+	}
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 0 {
+			return nil
+		}
+		d = math.Sqrt(d)
+		l.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/d)
+		}
+	}
+	return l
+}
+
+// SolveSPD solves a x = b for symmetric positive definite a via Cholesky.
+func SolveSPD(a *Dense, b []float64) []float64 {
+	l := Cholesky(a)
+	if l == nil {
+		panic("la: SolveSPD matrix not positive definite")
+	}
+	y := SolveLower(l, b)
+	return SolveUpper(l.T(), y)
+}

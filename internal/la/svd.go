@@ -1,0 +1,173 @@
+package la
+
+import (
+	"math"
+	"sort"
+)
+
+// SVD holds a thin singular value decomposition a = U·diag(Sigma)·Vᵀ of an
+// m-by-n matrix with m >= n. U is m-by-n with orthonormal columns (columns
+// belonging to zero singular values are zero), Sigma has length n and is
+// sorted in decreasing order, and V is n-by-n orthogonal. Because V is the
+// *complete* right-singular basis, its trailing columns span the null space
+// of a: this is what the basis-splitting steps of the wavelet and low-rank
+// algorithms rely on.
+type SVD struct {
+	U     *Dense
+	Sigma []float64
+	V     *Dense
+}
+
+// JacobiSVD computes the thin SVD of a (m >= n required) by one-sided Jacobi
+// rotations. The input is not modified.
+func JacobiSVD(a *Dense) *SVD {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic("la: JacobiSVD requires rows >= cols")
+	}
+	b := a.Clone()
+	v := Eye(n)
+	// Column-major access is the hot path; work on the transpose so each
+	// "column" is contiguous.
+	bt := b.T()
+	vt := v.T()
+
+	const maxSweeps = 60
+	tol := 1e-15
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		rotated := false
+		for p := 0; p < n-1; p++ {
+			cp := bt.Row(p)
+			for q := p + 1; q < n; q++ {
+				cq := bt.Row(q)
+				alpha := Dot(cp, cp)
+				beta := Dot(cq, cq)
+				gamma := Dot(cp, cq)
+				if alpha == 0 || beta == 0 {
+					continue
+				}
+				if math.Abs(gamma) <= tol*math.Sqrt(alpha*beta) {
+					continue
+				}
+				rotated = true
+				zeta := (beta - alpha) / (2 * gamma)
+				var t float64
+				if zeta > 0 {
+					t = 1 / (zeta + math.Sqrt(1+zeta*zeta))
+				} else {
+					t = -1 / (-zeta + math.Sqrt(1+zeta*zeta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				rotate(cp, cq, c, s)
+				rotate(vt.Row(p), vt.Row(q), c, s)
+			}
+		}
+		if !rotated {
+			break
+		}
+	}
+
+	sigma := make([]float64, n)
+	for j := 0; j < n; j++ {
+		sigma[j] = Norm2(bt.Row(j))
+	}
+	// Sort columns by decreasing singular value.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool { return sigma[idx[i]] > sigma[idx[j]] })
+
+	u := NewDense(m, n)
+	vout := NewDense(n, n)
+	sout := make([]float64, n)
+	for jj, j := range idx {
+		sout[jj] = sigma[j]
+		bcol := bt.Row(j)
+		if sigma[j] > 0 {
+			inv := 1 / sigma[j]
+			for i := 0; i < m; i++ {
+				u.Set(i, jj, bcol[i]*inv)
+			}
+		}
+		vcol := vt.Row(j)
+		for i := 0; i < n; i++ {
+			vout.Set(i, jj, vcol[i])
+		}
+	}
+	return &SVD{U: u, Sigma: sout, V: vout}
+}
+
+// rotate applies the Givens rotation [c -s; s c] to the pair of vectors
+// (x, y) treated as columns: x' = c*x - s*y, y' = s*x + c*y.
+func rotate(x, y []float64, c, s float64) {
+	for i := range x {
+		xi, yi := x[i], y[i]
+		x[i] = c*xi - s*yi
+		y[i] = s*xi + c*yi
+	}
+}
+
+// FullRightBasis computes, for an arbitrary d-by-n matrix m, the singular
+// values (length min(d,n), decreasing) and a complete n-by-n orthogonal
+// matrix Q whose first min(d,n) columns are the right singular vectors of m
+// in order and whose remaining columns complete an orthonormal basis of Rⁿ
+// (the null space of m when m has full row rank).
+//
+// This is the workhorse of both sparsification algorithms: splitting the
+// square-s voltage space into a "range" part V_s (slow-decaying response)
+// and a "null" part W_s (fast-decaying response). For n > d it avoids a
+// large SVD by first reducing mᵀ with a full Householder QR.
+func FullRightBasis(m *Dense) (sigma []float64, q *Dense) {
+	d, n := m.Rows, m.Cols
+	if n == 0 {
+		return nil, NewDense(0, 0)
+	}
+	if d == 0 {
+		return nil, Eye(n)
+	}
+	if n <= d {
+		svd := JacobiSVD(m)
+		return svd.Sigma, svd.V
+	}
+	// n > d: mᵀ (n-by-d, tall) = Qf·R with Qf n-by-n full orthogonal.
+	f := QRFactor(m.T())
+	qf := f.FullQ()
+	r := f.R() // d-by-d upper triangular
+	// m·Qf = [Rᵀ 0]; SVD of the small square Rᵀ.
+	svd := JacobiSVD(r.T())
+	// Q = Qf · blockdiag(V_small, I).
+	q = NewDense(n, n)
+	for i := 0; i < n; i++ {
+		qrow := qf.Row(i)
+		orow := q.Row(i)
+		for j := 0; j < d; j++ {
+			var s float64
+			for k := 0; k < d; k++ {
+				s += qrow[k] * svd.V.At(k, j)
+			}
+			orow[j] = s
+		}
+		copy(orow[d:], qrow[d:])
+	}
+	return svd.Sigma, q
+}
+
+// RankByThreshold returns the number of singular values that are at least
+// relTol times the largest, capped at maxRank (no cap if maxRank <= 0).
+func RankByThreshold(sigma []float64, relTol float64, maxRank int) int {
+	if len(sigma) == 0 || sigma[0] == 0 {
+		return 0
+	}
+	r := 0
+	for _, s := range sigma {
+		if s >= relTol*sigma[0] {
+			r++
+		}
+	}
+	if maxRank > 0 && r > maxRank {
+		r = maxRank
+	}
+	return r
+}

@@ -1,0 +1,289 @@
+package la
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// orthoError returns max |QᵀQ - I| entry.
+func orthoError(q *Dense) float64 {
+	p := MulTA(q, q)
+	var mx float64
+	for i := 0; i < p.Rows; i++ {
+		for j := 0; j < p.Cols; j++ {
+			want := 0.0
+			if i == j {
+				want = 1.0
+			}
+			if d := math.Abs(p.At(i, j) - want); d > mx {
+				mx = d
+			}
+		}
+	}
+	return mx
+}
+
+func TestQRReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 30; trial++ {
+		m := 1 + rng.Intn(12)
+		n := 1 + rng.Intn(m)
+		a := randDense(rng, m, n)
+		f := QRFactor(a)
+		q := f.FullQ()
+		if e := orthoError(q); e > 1e-12 {
+			t.Fatalf("trial %d: Q not orthogonal, err %g", trial, e)
+		}
+		// Rebuild A = Q * [R; 0].
+		rfull := NewDense(m, n)
+		r := f.R()
+		for i := 0; i < n; i++ {
+			copy(rfull.Row(i), r.Row(i))
+		}
+		back := Mul(q, rfull)
+		if d := maxAbsDiff(back, a); d > 1e-10 {
+			t.Fatalf("trial %d: QR reconstruction error %g", trial, d)
+		}
+	}
+}
+
+func TestQRThinQSpansColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randDense(rng, 8, 3)
+	f := QRFactor(a)
+	qt := f.ThinQ()
+	if qt.Rows != 8 || qt.Cols != 3 {
+		t.Fatalf("ThinQ shape %dx%d", qt.Rows, qt.Cols)
+	}
+	if e := orthoError(qt); e > 1e-12 {
+		t.Fatalf("ThinQ not orthonormal: %g", e)
+	}
+	// a = ThinQ * R
+	back := Mul(qt, f.R())
+	if d := maxAbsDiff(back, a); d > 1e-10 {
+		t.Fatalf("thin reconstruction error %g", d)
+	}
+}
+
+func TestQRRankDeficient(t *testing.T) {
+	// Column 2 = 2 * column 0; QR must not blow up.
+	a := NewDenseFrom(4, 3, []float64{
+		1, 5, 2,
+		2, 6, 4,
+		3, 7, 6,
+		4, 8, 8,
+	})
+	f := QRFactor(a)
+	q := f.FullQ()
+	if e := orthoError(q); e > 1e-12 {
+		t.Fatalf("Q not orthogonal on rank-deficient input: %g", e)
+	}
+}
+
+func TestJacobiSVDReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 30; trial++ {
+		m := 1 + rng.Intn(15)
+		n := 1 + rng.Intn(m)
+		a := randDense(rng, m, n)
+		s := JacobiSVD(a)
+		if e := orthoError(s.V); e > 1e-11 {
+			t.Fatalf("trial %d: V not orthogonal: %g", trial, e)
+		}
+		// Sigma decreasing and nonnegative.
+		for i := 1; i < len(s.Sigma); i++ {
+			if s.Sigma[i] > s.Sigma[i-1]+1e-12 || s.Sigma[i] < 0 {
+				t.Fatalf("trial %d: sigma not sorted: %v", trial, s.Sigma)
+			}
+		}
+		// A = U Σ Vᵀ.
+		us := s.U.Clone()
+		for j := 0; j < n; j++ {
+			for i := 0; i < m; i++ {
+				us.Set(i, j, us.At(i, j)*s.Sigma[j])
+			}
+		}
+		back := MulTB(us, s.V)
+		if d := maxAbsDiff(back, a); d > 1e-9 {
+			t.Fatalf("trial %d: SVD reconstruction error %g", trial, d)
+		}
+	}
+}
+
+func TestJacobiSVDKnownValues(t *testing.T) {
+	// diag(3, 1, 2) embedded in a 4x3.
+	a := NewDense(4, 3)
+	a.Set(0, 0, 3)
+	a.Set(1, 1, 1)
+	a.Set(2, 2, 2)
+	s := JacobiSVD(a)
+	want := []float64{3, 2, 1}
+	for i, w := range want {
+		if math.Abs(s.Sigma[i]-w) > 1e-12 {
+			t.Fatalf("sigma %d = %g want %g", i, s.Sigma[i], w)
+		}
+	}
+}
+
+func TestJacobiSVDRankDeficient(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	// Build a 10x6 matrix of rank 3.
+	b := randDense(rng, 10, 3)
+	c := randDense(rng, 3, 6)
+	a := Mul(b, c)
+	s := JacobiSVD(a)
+	for i := 3; i < 6; i++ {
+		if s.Sigma[i] > 1e-10*s.Sigma[0] {
+			t.Fatalf("rank-3 matrix has sigma[%d]=%g", i, s.Sigma[i])
+		}
+	}
+	// Null-space columns of V must be annihilated by A.
+	for j := 3; j < 6; j++ {
+		y := a.MulVec(s.V.Col(j))
+		if Norm2(y) > 1e-9*s.Sigma[0] {
+			t.Fatalf("V null column %d not in null space: |Av|=%g", j, Norm2(y))
+		}
+	}
+}
+
+func TestFullRightBasisWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 20; trial++ {
+		d := 1 + rng.Intn(6)
+		n := d + 1 + rng.Intn(20)
+		m := randDense(rng, d, n)
+		sigma, q := FullRightBasis(m)
+		if len(sigma) != d {
+			t.Fatalf("want %d singular values, got %d", d, len(sigma))
+		}
+		if e := orthoError(q); e > 1e-11 {
+			t.Fatalf("trial %d: Q not orthogonal: %g", trial, e)
+		}
+		// M·Q must be [something | 0] with trailing n-d columns zero.
+		mq := Mul(m, q)
+		for j := d; j < n; j++ {
+			for i := 0; i < d; i++ {
+				if math.Abs(mq.At(i, j)) > 1e-9*(1+sigma[0]) {
+					t.Fatalf("trial %d: MQ(%d,%d)=%g not annihilated", trial, i, j, mq.At(i, j))
+				}
+			}
+		}
+		// Column norms of the leading block must match sigma.
+		for j := 0; j < d; j++ {
+			nrm := Norm2(mq.Col(j))
+			if math.Abs(nrm-sigma[j]) > 1e-9*(1+sigma[0]) {
+				t.Fatalf("trial %d: col %d norm %g != sigma %g", trial, j, nrm, sigma[j])
+			}
+		}
+	}
+}
+
+func TestFullRightBasisTallAndSquare(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for _, dims := range [][2]int{{5, 5}, {8, 4}, {3, 1}} {
+		m := randDense(rng, dims[0], dims[1])
+		sigma, q := FullRightBasis(m)
+		if len(sigma) != dims[1] {
+			t.Fatalf("sigma length %d want %d", len(sigma), dims[1])
+		}
+		if e := orthoError(q); e > 1e-11 {
+			t.Fatalf("Q not orthogonal: %g", e)
+		}
+	}
+}
+
+func TestFullRightBasisDegenerate(t *testing.T) {
+	sigma, q := FullRightBasis(NewDense(0, 5))
+	if len(sigma) != 0 || q.Rows != 5 || orthoError(q) > 1e-14 {
+		t.Fatalf("degenerate d=0 case wrong")
+	}
+	_, q2 := FullRightBasis(NewDense(3, 0))
+	if q2.Rows != 0 {
+		t.Fatalf("degenerate n=0 case wrong")
+	}
+	// Zero matrix: all sigma zero, Q still orthogonal.
+	s3, q3 := FullRightBasis(NewDense(2, 7))
+	for _, s := range s3 {
+		if s != 0 {
+			t.Fatalf("zero matrix has nonzero sigma")
+		}
+	}
+	if e := orthoError(q3); e > 1e-12 {
+		t.Fatalf("zero-matrix Q not orthogonal: %g", e)
+	}
+}
+
+func TestRankByThreshold(t *testing.T) {
+	sigma := []float64{10, 5, 0.2, 0.001}
+	if r := RankByThreshold(sigma, 0.01, 0); r != 3 {
+		t.Fatalf("rank = %d want 3", r)
+	}
+	if r := RankByThreshold(sigma, 0.01, 2); r != 2 {
+		t.Fatalf("capped rank = %d want 2", r)
+	}
+	if r := RankByThreshold(nil, 0.01, 0); r != 0 {
+		t.Fatalf("empty rank = %d want 0", r)
+	}
+	if r := RankByThreshold([]float64{0, 0}, 0.01, 0); r != 0 {
+		t.Fatalf("zero rank = %d want 0", r)
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(10)
+		b := randDense(rng, n+2, n)
+		a := MulTA(b, b) // SPD (a.s.)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+0.5)
+		}
+		l := Cholesky(a)
+		if l == nil {
+			t.Fatalf("trial %d: Cholesky failed on SPD matrix", trial)
+		}
+		back := MulTB(l, l)
+		if d := maxAbsDiff(back, a); d > 1e-9 {
+			t.Fatalf("trial %d: LLᵀ reconstruction error %g", trial, d)
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		bvec := a.MulVec(x)
+		got := SolveSPD(a, bvec)
+		for i := range x {
+			if math.Abs(got[i]-x[i]) > 1e-8 {
+				t.Fatalf("trial %d: SolveSPD error at %d: %g vs %g", trial, i, got[i], x[i])
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewDenseFrom(2, 2, []float64{1, 2, 2, 1}) // eigenvalues 3, -1
+	if Cholesky(a) != nil {
+		t.Fatalf("Cholesky accepted an indefinite matrix")
+	}
+}
+
+func TestTriangularSolves(t *testing.T) {
+	u := NewDenseFrom(3, 3, []float64{2, 1, -1, 0, 3, 2, 0, 0, 4})
+	x := []float64{1, -1, 2}
+	b := u.MulVec(x)
+	got := SolveUpper(u, b)
+	for i := range x {
+		if math.Abs(got[i]-x[i]) > 1e-12 {
+			t.Fatalf("SolveUpper wrong at %d", i)
+		}
+	}
+	l := u.T()
+	b2 := l.MulVec(x)
+	got2 := SolveLower(l, b2)
+	for i := range x {
+		if math.Abs(got2[i]-x[i]) > 1e-12 {
+			t.Fatalf("SolveLower wrong at %d", i)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package lowrank
+
+import (
+	"sort"
+
+	"subcouple/internal/quadtree"
+	"subcouple/internal/sparse"
+)
+
+// entryMap accumulates Gw entries with set (not sum) semantics so the
+// symmetric mirror never double-counts.
+type entryMap struct {
+	n int
+	m map[int64]float64
+}
+
+func newEntryMap(n int) *entryMap { return &entryMap{n: n, m: make(map[int64]float64)} }
+
+func (e *entryMap) put(i, j int, v float64) {
+	e.m[int64(i)*int64(e.n)+int64(j)] = v
+	e.m[int64(j)*int64(e.n)+int64(i)] = v
+}
+
+func (e *entryMap) matrix() *sparse.Matrix {
+	ts := make([]sparse.Triplet, 0, len(e.m))
+	for k, v := range e.m {
+		ts = append(ts, sparse.Triplet{Row: int(k / int64(e.n)), Col: int(k % int64(e.n)), Val: v})
+	}
+	return sparse.FromTriplets(e.n, e.n, ts)
+}
+
+// assembleGw fills the kept entries of Gw (§4.4.1): interactions between
+// fast-decaying T columns in squares local to each other (same-level and
+// the conservative cross-level ancestor rule), plus the level-2
+// slow-decaying U columns against everything.
+func (tr *Transformed) assembleGw(level2 map[int]*sweepSquare) {
+	r := tr.Rep
+	n := r.Layout.N()
+	em := newEntryMap(n)
+
+	// T blocks: for each square s at each level, the D_s matrix provides
+	// responses at local contacts; dot with the T columns of s's local
+	// squares and all of their descendants.
+	for lev := 2; lev <= r.Tree.MaxLevel; lev++ {
+		states := tr.sweepStates[lev]
+		for _, sq := range r.Tree.SquaresAt(lev) {
+			ss := states[sq.ID]
+			if ss == nil || ss.T.Cols == 0 {
+				continue
+			}
+			targets := tr.targetColumns(sq, lev)
+			for m := 0; m < ss.T.Cols; m++ {
+				cj := tr.tCols[lev][sq.ID][m]
+				dcol := ss.D.Col(m) // T columns come first in D
+				for _, ti := range targets {
+					em.put(ti, cj, tr.dotAgainstLocal(ti, dcol, ss.lIndex))
+				}
+			}
+		}
+	}
+
+	// Level-2 U columns interact with everything: full responses are
+	// available because P_s covers the whole surface at level 2.
+	for _, sq := range r.Tree.SquaresAt(2) {
+		ss := level2[sq.ID]
+		if ss == nil {
+			continue
+		}
+		base := 0
+		for _, ui := range tr.uCols {
+			if tr.Cols[ui].Square == sq {
+				base = ui - tr.Cols[ui].M
+				break
+			}
+		}
+		for m := 0; m < ss.U.Cols; m++ {
+			full := make([]float64, n)
+			// Local part from D (U columns follow the T block).
+			for i, c := range ss.lContacts {
+				full[c] += ss.D.At(i, ss.T.Cols+m)
+			}
+			// Interactive part via (4.16).
+			u := ss.U.Col(m)
+			for _, dsq := range r.Tree.Interactive(sq) {
+				d := r.at(2, dsq.ID)
+				if d == nil {
+					continue
+				}
+				resp := r.approxGds(d, ss.sd, u)
+				for i, c := range dsq.Contacts {
+					full[c] += resp[i]
+				}
+			}
+			cj := base + m
+			for ci := range tr.Cols {
+				em.put(ci, cj, tr.colDot(ci, full))
+			}
+		}
+	}
+	tr.Gw = em.matrix()
+}
+
+// dotAgainstLocal computes qᵢᵀ·(G·t) where the response G·t is known at the
+// local-contact rows indexed by lIndex. Column ci's support must lie inside
+// that region (guaranteed by the target enumeration).
+func (tr *Transformed) dotAgainstLocal(ci int, dcol []float64, lIndex map[int]int) float64 {
+	var s float64
+	for _, e := range tr.colVecs[ci] {
+		row, ok := lIndex[e.row]
+		if !ok {
+			panic("lowrank: target column support escapes the local region")
+		}
+		s += e.val * dcol[row]
+	}
+	return s
+}
+
+// targetColumns lists the T columns at levels >= lev whose level-lev
+// ancestor square is local to s.
+func (tr *Transformed) targetColumns(s *quadtree.Square, lev int) []int {
+	var out []int
+	for _, q := range tr.Rep.Tree.Local(s) {
+		var rec func(sq *quadtree.Square)
+		rec = func(sq *quadtree.Square) {
+			out = append(out, tr.tCols[sq.Level][sq.ID]...)
+			for _, c := range tr.Rep.Tree.Children(sq) {
+				rec(c)
+			}
+		}
+		rec(q)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// N returns the basis dimension.
+func (tr *Transformed) N() int { return tr.Rep.Layout.N() }
+
+// colDot returns the inner product of Q column idx with a dense vector.
+func (tr *Transformed) colDot(idx int, y []float64) float64 {
+	var s float64
+	for _, e := range tr.colVecs[idx] {
+		s += e.val * y[e.row]
+	}
+	return s
+}
+
+// colAdd accumulates Q column idx scaled into y.
+func (tr *Transformed) colAdd(idx int, scale float64, y []float64) {
+	for _, e := range tr.colVecs[idx] {
+		y[e.row] += scale * e.val
+	}
+}
+
+// ColVector materializes Q column idx.
+func (tr *Transformed) ColVector(idx int) []float64 {
+	v := make([]float64, tr.N())
+	tr.colAdd(idx, 1, v)
+	return v
+}
+
+// Q materializes the change-of-basis matrix with columns ordered: level-2 U
+// block first, then T blocks level by level coarse to fine, squares in
+// quadrant-hierarchical order (matching the thesis spy plots).
+func (tr *Transformed) Q() *sparse.Matrix {
+	order := tr.ColumnOrder()
+	var ts []sparse.Triplet
+	for newIdx, oldIdx := range order {
+		for _, e := range tr.colVecs[oldIdx] {
+			ts = append(ts, sparse.Triplet{Row: e.row, Col: newIdx, Val: e.val})
+		}
+	}
+	return sparse.FromTriplets(tr.N(), tr.N(), ts)
+}
+
+// ColumnOrder returns the presentation order of columns.
+func (tr *Transformed) ColumnOrder() []int {
+	var order []int
+	order = append(order, tr.uCols...)
+	for lev := 2; lev <= tr.Rep.Tree.MaxLevel; lev++ {
+		for _, s := range tr.Rep.Tree.QuadrantOrder(lev) {
+			order = append(order, tr.tCols[lev][s.ID]...)
+		}
+	}
+	return order
+}
+
+// GwReordered returns Gw with rows and columns permuted into the
+// presentation order used by Q() (for spy plots).
+func (tr *Transformed) GwReordered(gw *sparse.Matrix) *sparse.Matrix {
+	order := tr.ColumnOrder()
+	pos := make([]int, len(order))
+	for newIdx, oldIdx := range order {
+		pos[oldIdx] = newIdx
+	}
+	var ts []sparse.Triplet
+	for rIdx := 0; rIdx < gw.Rows; rIdx++ {
+		for k := gw.RowPtr[rIdx]; k < gw.RowPtr[rIdx+1]; k++ {
+			ts = append(ts, sparse.Triplet{Row: pos[rIdx], Col: pos[gw.ColIdx[k]], Val: gw.Val[k]})
+		}
+	}
+	return sparse.FromTriplets(gw.Rows, gw.Cols, ts)
+}
+
+// Apply computes Q·Gw·Qᵀ·x for a given (possibly thresholded) Gw.
+func (tr *Transformed) Apply(gw *sparse.Matrix, x []float64) []float64 {
+	u := make([]float64, tr.N())
+	for c := range tr.Cols {
+		u[c] = tr.colDot(c, x)
+	}
+	w := gw.MulVec(u)
+	out := make([]float64, tr.N())
+	for c, wc := range w {
+		if wc != 0 {
+			tr.colAdd(c, wc, out)
+		}
+	}
+	return out
+}
+
+// ApproxColumn returns column j of Q·Gw·Qᵀ.
+func (tr *Transformed) ApproxColumn(gw *sparse.Matrix, j int) []float64 {
+	x := make([]float64, tr.N())
+	x[j] = 1
+	return tr.Apply(gw, x)
+}

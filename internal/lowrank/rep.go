@@ -1,0 +1,516 @@
+// Package lowrank implements the Chapter 4 sparsification algorithm: a
+// two-phase low-rank method that, unlike the wavelet method, uses
+// information from actually applying G to build the basis.
+//
+// Phase 1 (coarse-to-fine, §4.3) builds a multilevel row-basis
+// representation: for every square s, an orthonormal row basis V_s of the
+// interactive interaction G_{Is,s} obtained by SVD of sampled responses
+// (one random sample vector per square, shared across the interactive
+// squares that see it, §4.3.3), plus the responses (G_{Ps,s}·V_s)^(r) at
+// the proximity region P_s = I_s ∪ L_s. On finer levels both samples and
+// row-basis responses are obtained without new full-cost solves per column
+// by the splitting method (4.22) against the parent row basis, the
+// combine-solves technique of §3.5, and the symmetry-exploiting refinement
+// (4.24). Finest-level local blocks are formed by (4.26).
+//
+// Phase 2 (fine-to-coarse, §4.4, see sweep.go) recombines slow-decaying
+// child bases by SVDs of their interactive responses into an orthogonal
+// wavelet-structured Q and a sparse Gw with G ≈ Q·Gw·Qᵀ.
+package lowrank
+
+import (
+	"fmt"
+	"math/rand"
+
+	"subcouple/internal/geom"
+	"subcouple/internal/la"
+	"subcouple/internal/quadtree"
+	"subcouple/internal/solver"
+)
+
+// Options configures the low-rank method.
+type Options struct {
+	// MaxRank caps the row-basis rank per square (thesis: 6, matching the
+	// p=2 moment count).
+	MaxRank int
+	// RankTol keeps singular values >= RankTol·σmax (thesis: 1/100).
+	RankTol float64
+	// CombineSolves groups well-separated vectors into single black-box
+	// calls (§3.5). Disabling it is the ablation: one solve per vector.
+	CombineSolves bool
+	// Refine enables the symmetry-exploiting refinement (4.16)/(4.24); the
+	// thesis reports "a dramatic improvement in accuracy at a constant
+	// factor (<2) increase" from it.
+	Refine bool
+	// Seed drives the random sample vectors.
+	Seed int64
+}
+
+// DefaultOptions returns the thesis's settings.
+func DefaultOptions() Options {
+	return Options{MaxRank: 6, RankTol: 0.01, CombineSolves: true, Refine: true, Seed: 1}
+}
+
+// squareData holds the per-square pieces of the row-basis representation.
+type squareData struct {
+	sq *quadtree.Square
+	V  *la.Dense // n_s × c_s row basis (orthonormal columns)
+	R  *la.Dense // n_{P_s} × c_s responses (G_{Ps,s}·V_s)^(r)
+
+	pContacts []int       // row ordering of R: contacts of P_s
+	pIndex    map[int]int // contact id → row of R
+
+	// Finest level only:
+	W         *la.Dense // orthogonal complement of V_s in the square
+	GLW       *la.Dense // n_{Ls} × w_s refined responses (G_{Ls,s}·W_s)^(c)
+	GL        *la.Dense // n_{Ls} × n_s local block (G_{Ls,s})^(f), eq. 4.26
+	lContacts []int     // row ordering of GLW/GL: contacts of L_s
+}
+
+// Rep is the multilevel row-basis representation of G.
+type Rep struct {
+	Layout *geom.Layout
+	Tree   *quadtree.Tree
+	Opt    Options
+
+	data [][]*squareData // [level][squareID]; nil entries for empty squares
+}
+
+// at returns the square data (nil for empty squares or levels < 2).
+func (r *Rep) at(level, id int) *squareData {
+	if level < 2 || level >= len(r.data) {
+		return nil
+	}
+	return r.data[level][id]
+}
+
+// restrict gathers y at the given contact indices.
+func restrict(y []float64, contacts []int) []float64 {
+	out := make([]float64, len(contacts))
+	for i, c := range contacts {
+		out[i] = y[c]
+	}
+	return out
+}
+
+// rowsFor extracts the rows of sd.R corresponding to the given contacts
+// (which must all lie in P_s).
+func (sd *squareData) rowsFor(contacts []int) *la.Dense {
+	out := la.NewDense(len(contacts), sd.R.Cols)
+	for i, c := range contacts {
+		row, ok := sd.pIndex[c]
+		if !ok {
+			panic(fmt.Sprintf("lowrank: contact %d not in P_s of square (%d,%d,l%d)", c, sd.sq.I, sd.sq.J, sd.sq.Level))
+		}
+		copy(out.Row(i), sd.R.Row(row))
+	}
+	return out
+}
+
+// approxGds evaluates the (4.16) approximation of G_{d,s}·x for interactive
+// squares d ∈ I_s, where x is a voltage vector on s's contacts:
+//
+//	G_{d,s}·x ≈ (G_{ds}V_s)⁽ʳ⁾·V_sᵀx + V_d·((G_{sd}V_d)⁽ʳ⁾)ᵀ·(x − V_sV_sᵀx).
+//
+// Without refinement only the first term is used (the "strong assumption"
+// 4.7).
+func (r *Rep) approxGds(d, s *squareData, x []float64) []float64 {
+	coef := s.V.MulVecT(x)
+	out := s.rowsFor(d.sq.Contacts).MulVec(coef)
+	if !r.Opt.Refine {
+		return out
+	}
+	o := make([]float64, len(x))
+	copy(o, x)
+	back := s.V.MulVec(coef)
+	la.Axpy(-1, back, o)
+	alpha := d.rowsFor(s.sq.Contacts).MulVecT(o)
+	t2 := d.V.MulVec(alpha)
+	la.Axpy(1, t2, out)
+	return out
+}
+
+// pending is one vector awaiting a response over P_s.
+type pending struct {
+	sd  *squareData
+	vec []float64 // over sd.sq.Contacts
+	out []float64 // response over sd.pContacts, filled by the driver
+}
+
+// Build runs phase 1 against the black-box solver.
+func Build(layout *geom.Layout, tree *quadtree.Tree, s solver.Solver, opt Options) (*Rep, error) {
+	if s.N() != layout.N() {
+		return nil, fmt.Errorf("lowrank: solver has %d contacts, layout %d", s.N(), layout.N())
+	}
+	if opt.MaxRank <= 0 {
+		opt.MaxRank = 6
+	}
+	if opt.RankTol <= 0 {
+		opt.RankTol = 0.01
+	}
+	r := &Rep{Layout: layout, Tree: tree, Opt: opt}
+	L := tree.MaxLevel
+	r.data = make([][]*squareData, L+1)
+	for lev := 2; lev <= L; lev++ {
+		r.data[lev] = make([]*squareData, len(tree.SquaresAt(lev)))
+		for _, sq := range tree.SquaresAt(lev) {
+			if len(sq.Contacts) == 0 {
+				continue
+			}
+			sd := &squareData{sq: sq}
+			sd.pContacts = quadtree.ContactsOf(tree.Proximity(sq))
+			sd.pIndex = make(map[int]int, len(sd.pContacts))
+			for i, c := range sd.pContacts {
+				sd.pIndex[c] = i
+			}
+			r.data[lev][sq.ID] = sd
+		}
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	for lev := 2; lev <= L; lev++ {
+		// 1. Random sample vector per square (thesis: MATLAB randn).
+		samples := map[int]*pending{} // squareID → sample
+		for _, sq := range tree.SquaresAt(lev) {
+			sd := r.at(lev, sq.ID)
+			if sd == nil {
+				continue
+			}
+			v := make([]float64, len(sq.Contacts))
+			for i := range v {
+				v[i] = rng.NormFloat64()
+			}
+			la.Scale(1/la.Norm2(v), v)
+			samples[sq.ID] = &pending{sd: sd, vec: v}
+		}
+		// 2. Responses to the samples.
+		var batch []*pending
+		for _, sq := range tree.SquaresAt(lev) {
+			if p := samples[sq.ID]; p != nil {
+				batch = append(batch, p)
+			}
+		}
+		if err := r.respond(s, lev, batch); err != nil {
+			return nil, err
+		}
+		// 3. Row basis per square from the SVD of sampled interactions.
+		for _, sq := range tree.SquaresAt(lev) {
+			sd := r.at(lev, sq.ID)
+			if sd == nil {
+				continue
+			}
+			ns := len(sq.Contacts)
+			var cols [][]float64
+			for _, t := range tree.Interactive(sq) {
+				ps := samples[t.ID]
+				if ps == nil {
+					continue
+				}
+				// Response of t's sample at s's contacts: s ∈ P_t.
+				col := make([]float64, ns)
+				for i, c := range sq.Contacts {
+					col[i] = ps.out[ps.sd.pIndex[c]]
+				}
+				cols = append(cols, col)
+			}
+			sd.V = leftBasis(cols, ns, opt.RankTol, opt.MaxRank)
+		}
+		// 4. Responses to the row-basis columns, by the same machinery.
+		var vbatch []*pending
+		maxc := 0
+		for _, sq := range tree.SquaresAt(lev) {
+			if sd := r.at(lev, sq.ID); sd != nil && sd.V.Cols > maxc {
+				maxc = sd.V.Cols
+			}
+		}
+		for m := 0; m < maxc; m++ {
+			for _, sq := range tree.SquaresAt(lev) {
+				sd := r.at(lev, sq.ID)
+				if sd == nil || m >= sd.V.Cols {
+					continue
+				}
+				vbatch = append(vbatch, &pending{sd: sd, vec: sd.V.Col(m)})
+			}
+		}
+		if err := r.respond(s, lev, vbatch); err != nil {
+			return nil, err
+		}
+		// Gather responses into R (column order restored per square).
+		counts := map[int]int{}
+		for _, p := range vbatch {
+			sd := p.sd
+			if sd.R == nil {
+				sd.R = la.NewDense(len(sd.pContacts), sd.V.Cols)
+			}
+			sd.R.SetCol(counts[sd.sq.ID], p.out)
+			counts[sd.sq.ID]++
+		}
+		for _, sq := range tree.SquaresAt(lev) {
+			if sd := r.at(lev, sq.ID); sd != nil && sd.R == nil {
+				sd.R = la.NewDense(len(sd.pContacts), 0)
+			}
+		}
+	}
+
+	if err := r.buildFinestLocal(s); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// leftBasis returns an orthonormal basis of the dominant left singular
+// space of the matrix whose columns are cols (each of length ns).
+func leftBasis(cols [][]float64, ns int, tol float64, cap int) *la.Dense {
+	if len(cols) == 0 || ns == 0 {
+		return la.NewDense(ns, 0)
+	}
+	x := la.NewDense(ns, len(cols))
+	for j, c := range cols {
+		x.SetCol(j, c)
+	}
+	var sigma []float64
+	var u *la.Dense
+	if x.Rows >= x.Cols {
+		svd := la.JacobiSVD(x)
+		sigma, u = svd.Sigma, svd.U
+	} else {
+		svd := la.JacobiSVD(x.T())
+		sigma, u = svd.Sigma, svd.V
+	}
+	rank := la.RankByThreshold(sigma, tol, cap)
+	return u.Cols2(0, rank)
+}
+
+// respond fills out = (G_{Ps,s}·vec)^(r) for every pending vector at the
+// given level, using direct solves on level 2 (or when combine-solves is
+// off) and the splitting method + combine-solves on finer levels.
+func (r *Rep) respond(s solver.Solver, lev int, batch []*pending) error {
+	n := r.Layout.N()
+	if lev == 2 || !r.Opt.CombineSolves {
+		for _, p := range batch {
+			theta := make([]float64, n)
+			for i, c := range p.sd.sq.Contacts {
+				theta[c] = p.vec[i]
+			}
+			y, err := s.Solve(theta)
+			if err != nil {
+				return err
+			}
+			p.out = restrict(y, p.sd.pContacts)
+		}
+		return nil
+	}
+	// Group by (parent mod-3 class, child index, per-square sequence
+	// number): members' parents are >= 3 apart, so the o-vectors'
+	// supports and local target regions never collide (§3.5, Fig 3-5).
+	type key struct{ a, b, child, seq int }
+	groups := map[key][]*pending{}
+	seq := map[int]int{}
+	for _, p := range batch {
+		sq := p.sd.sq
+		par := r.Tree.Parent(sq)
+		a, b := quadtree.Mod3Class(par)
+		child := (sq.I%2)<<1 | sq.J%2
+		k := key{a, b, child, seq[sq.ID]}
+		seq[sq.ID]++
+		groups[k] = append(groups[k], p)
+	}
+	for _, members := range groups {
+		type split struct {
+			p     *pending
+			par   *squareData
+			coef  []float64 // V_pᵀ·v
+			o     []float64 // v − V_p·coef, over parent contacts
+			prows map[int]int
+		}
+		theta := make([]float64, n)
+		var splits []split
+		for _, p := range members {
+			parSq := r.Tree.Parent(p.sd.sq)
+			par := r.at(lev-1, parSq.ID)
+			// Zero-pad into the parent's contact ordering.
+			v := make([]float64, len(parSq.Contacts))
+			prows := make(map[int]int, len(parSq.Contacts))
+			for i, c := range parSq.Contacts {
+				prows[c] = i
+			}
+			for i, c := range p.sd.sq.Contacts {
+				v[prows[c]] = p.vec[i]
+			}
+			coef := par.V.MulVecT(v)
+			o := v
+			back := par.V.MulVec(coef)
+			la.Axpy(-1, back, o)
+			for i, c := range parSq.Contacts {
+				theta[c] += o[i]
+			}
+			splits = append(splits, split{p: p, par: par, coef: coef, o: o, prows: prows})
+		}
+		y, err := s.Solve(theta)
+		if err != nil {
+			return err
+		}
+		for _, sp := range splits {
+			p := sp.p
+			out := make([]float64, len(p.sd.pContacts))
+			// Coarse part: R_p·coef restricted to P_s (= contacts of L_p).
+			coarse := sp.par.R.MulVec(sp.coef)
+			for i, c := range p.sd.pContacts {
+				out[i] = coarse[sp.par.pIndex[c]]
+			}
+			// Fine part: refined G_{q,p}·o for every parent-level local q.
+			for _, qsq := range r.Tree.Local(sp.par.sq) {
+				q := r.at(lev-1, qsq.ID)
+				if q == nil {
+					continue
+				}
+				raw := restrict(y, qsq.Contacts)
+				t := raw
+				if r.Opt.Refine {
+					// (4.24): V_q((G_pq V_q)ᵀo) + raw − V_q(V_qᵀ raw).
+					alpha := q.rowsFor(sp.par.sq.Contacts).MulVecT(sp.o)
+					beta := q.V.MulVecT(raw)
+					la.Axpy(-1, beta, alpha)
+					corr := q.V.MulVec(alpha)
+					la.Axpy(1, corr, t)
+				}
+				for i, c := range qsq.Contacts {
+					out[p.sd.pIndex[c]] += t[i]
+				}
+			}
+			p.out = out
+		}
+	}
+	return nil
+}
+
+// buildFinestLocal forms W_s, the refined local W responses, and the local
+// blocks (4.26) on the finest level.
+func (r *Rep) buildFinestLocal(s solver.Solver) error {
+	L := r.Tree.MaxLevel
+	n := r.Layout.N()
+	type witem struct {
+		sd  *squareData
+		m   int
+		out []float64 // over lContacts
+	}
+	var items []*witem
+	for _, sq := range r.Tree.SquaresAt(L) {
+		sd := r.at(L, sq.ID)
+		if sd == nil {
+			continue
+		}
+		sd.lContacts = quadtree.ContactsOf(r.Tree.Local(sq))
+		ns := len(sq.Contacts)
+		_, q := la.FullRightBasis(sd.V.T())
+		sd.W = q.Cols2(sd.V.Cols, ns)
+		sd.GLW = la.NewDense(len(sd.lContacts), sd.W.Cols)
+		for m := 0; m < sd.W.Cols; m++ {
+			items = append(items, &witem{sd: sd, m: m})
+		}
+	}
+	// Respond to W columns, grouped by (mod-3 class at the finest level,
+	// column index) — W vectors live on their own square, so same-level
+	// spacing suffices.
+	type key struct{ a, b, m int }
+	groups := map[key][]*witem{}
+	for _, it := range items {
+		a, b := quadtree.Mod3Class(it.sd.sq)
+		groups[key{a, b, it.m}] = append(groups[key{a, b, it.m}], it)
+	}
+	if !r.Opt.CombineSolves {
+		groups = map[key][]*witem{}
+		for i, it := range items {
+			groups[key{i, 0, 0}] = []*witem{it}
+		}
+	}
+	for _, members := range groups {
+		theta := make([]float64, n)
+		for _, it := range members {
+			for i, c := range it.sd.sq.Contacts {
+				theta[c] += it.sd.W.At(i, it.m)
+			}
+		}
+		y, err := s.Solve(theta)
+		if err != nil {
+			return err
+		}
+		for _, it := range members {
+			sd := it.sd
+			out := make([]float64, len(sd.lContacts))
+			w := sd.W.Col(it.m)
+			pos := 0
+			for _, qsq := range r.Tree.Local(sd.sq) {
+				raw := restrict(y, qsq.Contacts)
+				t := raw
+				q := r.at(L, qsq.ID)
+				if r.Opt.Refine && q != nil {
+					alpha := q.rowsFor(sd.sq.Contacts).MulVecT(w)
+					beta := q.V.MulVecT(raw)
+					la.Axpy(-1, beta, alpha)
+					corr := q.V.MulVec(alpha)
+					la.Axpy(1, corr, t)
+				}
+				copy(out[pos:pos+len(qsq.Contacts)], t)
+				pos += len(qsq.Contacts)
+			}
+			sd.GLW.SetCol(it.m, out)
+		}
+	}
+	// Local blocks (4.26): (G_Ls,s)^(f) = (G V_s)^(r)·V_sᵀ + (G W_s)^(c)·W_sᵀ.
+	for _, sq := range r.Tree.SquaresAt(L) {
+		sd := r.at(L, sq.ID)
+		if sd == nil {
+			continue
+		}
+		rv := sd.rowsFor(sd.lContacts) // (G_{Ls,s}V_s)^(r)
+		sd.GL = la.Mul(rv, sd.V.T())
+		if sd.W.Cols > 0 {
+			sd.GL = la.Add(sd.GL, la.Mul(sd.GLW, sd.W.T()))
+		}
+	}
+	return nil
+}
+
+// Apply evaluates the row-basis representation on a voltage vector
+// (§4.3.2 pseudocode): interactive interactions per square per level via
+// (4.16), plus finest-level local blocks.
+func (r *Rep) Apply(v []float64) []float64 {
+	n := r.Layout.N()
+	out := make([]float64, n)
+	L := r.Tree.MaxLevel
+	for lev := 2; lev <= L; lev++ {
+		for _, sq := range r.Tree.SquaresAt(lev) {
+			sd := r.at(lev, sq.ID)
+			if sd == nil {
+				continue
+			}
+			vs := restrict(v, sq.Contacts)
+			for _, dsq := range r.Tree.Interactive(sq) {
+				d := r.at(lev, dsq.ID)
+				if d == nil {
+					continue
+				}
+				id := r.approxGds(d, sd, vs)
+				for i, c := range dsq.Contacts {
+					out[c] += id[i]
+				}
+			}
+		}
+	}
+	for _, sq := range r.Tree.SquaresAt(L) {
+		sd := r.at(L, sq.ID)
+		if sd == nil {
+			continue
+		}
+		vs := restrict(v, sq.Contacts)
+		il := sd.GL.MulVec(vs)
+		for i, c := range sd.lContacts {
+			out[c] += il[i]
+		}
+	}
+	return out
+}
+
+// N returns the contact count.
+func (r *Rep) N() int { return r.Layout.N() }

@@ -1,0 +1,111 @@
+// Package metrics implements the accuracy and sparsity measures the thesis
+// reports: entrywise relative error against the exact G (§3.7), maximum
+// relative error, the fraction of entries off by more than 10%, sparsity
+// factors n²/nnz, and solve-reduction factors. For large examples it
+// supports the thesis's 10%-column-sample error estimate (§4.6).
+package metrics
+
+import (
+	"math"
+
+	"subcouple/internal/la"
+)
+
+// ColumnFunc returns column j of an approximate operator.
+type ColumnFunc func(j int) []float64
+
+// ErrorStats summarizes entrywise relative errors.
+type ErrorStats struct {
+	MaxRel     float64 // max over entries of |approx−exact|/|exact|
+	FracAbove  float64 // fraction of entries with relative error > Thresh
+	Thresh     float64
+	Entries    int
+	RMSAbs     float64 // RMS absolute error
+	ScaleMax   float64 // largest |exact| entry seen (context for RMSAbs)
+	BadEntries int
+}
+
+// Compare evaluates the approximation against exact columns. cols selects
+// which exact columns to compare (nil = all). thresh is the relative-error
+// threshold for FracAbove (the thesis uses 0.1).
+func Compare(exact *la.Dense, approx ColumnFunc, cols []int, thresh float64) ErrorStats {
+	if cols == nil {
+		cols = make([]int, exact.Cols)
+		for i := range cols {
+			cols[i] = i
+		}
+	}
+	st := ErrorStats{Thresh: thresh}
+	var sumSq float64
+	for ci, j := range cols {
+		_ = ci
+		a := approx(j)
+		for i := 0; i < exact.Rows; i++ {
+			e := exact.At(i, j)
+			d := math.Abs(a[i] - e)
+			st.Entries++
+			sumSq += d * d
+			if ae := math.Abs(e); ae > st.ScaleMax {
+				st.ScaleMax = ae
+			}
+			if e != 0 {
+				rel := d / math.Abs(e)
+				if rel > st.MaxRel {
+					st.MaxRel = rel
+				}
+				if rel > thresh {
+					st.BadEntries++
+				}
+			} else if d > 0 {
+				st.MaxRel = math.Inf(1)
+				st.BadEntries++
+			}
+		}
+	}
+	if st.Entries > 0 {
+		st.FracAbove = float64(st.BadEntries) / float64(st.Entries)
+		st.RMSAbs = math.Sqrt(sumSq / float64(st.Entries))
+	}
+	return st
+}
+
+// SampleColumns returns k column indices spread evenly over [0, n) — the
+// deterministic analogue of the thesis's 10% column sample.
+func SampleColumns(n, k int) []int {
+	if k >= n {
+		k = n
+	}
+	if k <= 0 {
+		return nil
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = i * n / k
+	}
+	return out
+}
+
+// SolveReduction returns the thesis's solve-reduction factor: naive solves
+// (= n, one per contact) over the solves the sparsification method used.
+func SolveReduction(n, solves int) float64 {
+	if solves == 0 {
+		return math.Inf(1)
+	}
+	return float64(n) / float64(solves)
+}
+
+// DenseSparsity returns n²/nnz for a dense matrix after dropping entries
+// below t in magnitude (used to show that naive thresholding of G itself is
+// a poor sparsifier).
+func DenseSparsity(g *la.Dense, t float64) float64 {
+	nnz := 0
+	for _, v := range g.Data {
+		if math.Abs(v) >= t {
+			nnz++
+		}
+	}
+	if nnz == 0 {
+		return math.Inf(1)
+	}
+	return float64(len(g.Data)) / float64(nnz)
+}

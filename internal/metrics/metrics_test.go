@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"subcouple/internal/la"
+)
+
+func TestCompareExact(t *testing.T) {
+	g := la.NewDenseFrom(2, 2, []float64{1, -0.5, -0.5, 2})
+	approx := func(j int) []float64 { return g.Col(j) }
+	st := Compare(g, approx, nil, 0.1)
+	if st.MaxRel != 0 || st.FracAbove != 0 || st.Entries != 4 {
+		t.Fatalf("exact comparison gave %+v", st)
+	}
+	if st.ScaleMax != 2 {
+		t.Fatalf("ScaleMax = %g", st.ScaleMax)
+	}
+}
+
+func TestComparePerturbed(t *testing.T) {
+	g := la.NewDenseFrom(2, 2, []float64{1, -0.5, -0.5, 2})
+	approx := func(j int) []float64 {
+		c := g.Col(j)
+		if j == 1 {
+			c[0] *= 1.3 // 30% relative error on one entry
+		}
+		return c
+	}
+	st := Compare(g, approx, nil, 0.1)
+	if math.Abs(st.MaxRel-0.3) > 1e-12 {
+		t.Fatalf("MaxRel = %g want 0.3", st.MaxRel)
+	}
+	if st.BadEntries != 1 || math.Abs(st.FracAbove-0.25) > 1e-12 {
+		t.Fatalf("FracAbove = %g (%d bad)", st.FracAbove, st.BadEntries)
+	}
+}
+
+func TestCompareSampledColumns(t *testing.T) {
+	g := la.NewDenseFrom(3, 3, []float64{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	st := Compare(g, func(j int) []float64 { return g.Col(j) }, []int{0, 2}, 0.1)
+	if st.Entries != 6 {
+		t.Fatalf("sampled entries = %d", st.Entries)
+	}
+}
+
+func TestCompareZeroExactEntry(t *testing.T) {
+	g := la.NewDense(2, 2)
+	g.Set(0, 0, 1)
+	approx := func(j int) []float64 {
+		c := g.Col(j)
+		c[1] += 0.01 // nonzero where exact is zero
+		return c
+	}
+	st := Compare(g, approx, nil, 0.1)
+	if !math.IsInf(st.MaxRel, 1) {
+		t.Fatalf("zero-exact entry should give infinite relative error")
+	}
+}
+
+func TestSampleColumns(t *testing.T) {
+	s := SampleColumns(100, 10)
+	if len(s) != 10 || s[0] != 0 || s[9] != 90 {
+		t.Fatalf("SampleColumns = %v", s)
+	}
+	if len(SampleColumns(5, 10)) != 5 {
+		t.Fatalf("oversampling not clamped")
+	}
+	if SampleColumns(5, 0) != nil {
+		t.Fatalf("zero sample should be nil")
+	}
+}
+
+func TestSolveReduction(t *testing.T) {
+	if SolveReduction(1024, 320) != 3.2 {
+		t.Fatalf("SolveReduction wrong")
+	}
+	if !math.IsInf(SolveReduction(10, 0), 1) {
+		t.Fatalf("zero solves should be Inf")
+	}
+}
+
+func TestDenseSparsity(t *testing.T) {
+	g := la.NewDenseFrom(2, 2, []float64{1, 0.01, 0.02, 2})
+	if DenseSparsity(g, 0.1) != 2 {
+		t.Fatalf("DenseSparsity = %g", DenseSparsity(g, 0.1))
+	}
+	if !math.IsInf(DenseSparsity(g, 100), 1) {
+		t.Fatalf("all-dropped should be Inf")
+	}
+}

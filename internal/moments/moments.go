@@ -1,0 +1,74 @@
+// Package moments computes the polynomial contact moments driving the
+// wavelet sparsification basis (thesis §3.2.1): the (α,β) moment of a
+// voltage function σ in square s is
+//
+//	p_{α,β,s}(σ) = ∫_{C_s} x'^α · y'^β · σ(x,y) dA,   (x',y') = (x,y) − centroid(s),
+//
+// integrated over the contact area within the square only. For the
+// characteristic function of a rectangular contact the integral is a
+// product of two analytic one-dimensional integrals.
+package moments
+
+import (
+	"math"
+
+	"subcouple/internal/geom"
+	"subcouple/internal/la"
+)
+
+// Count returns d = (p+1)(p+2)/2, the number of moments of order <= p
+// (thesis eq. 3.7).
+func Count(p int) int { return (p + 1) * (p + 2) / 2 }
+
+// Orders returns the (α,β) pairs with α+β <= p in a fixed order:
+// (0,0), (1,0), (0,1), (2,0), (1,1), (0,2), ...
+func Orders(p int) [][2]int {
+	var out [][2]int
+	for total := 0; total <= p; total++ {
+		for a := total; a >= 0; a-- {
+			out = append(out, [2]int{a, total - a})
+		}
+	}
+	return out
+}
+
+// interval1D returns ∫_{x0}^{x1} (x − c)^α dx.
+func interval1D(x0, x1, c float64, alpha int) float64 {
+	a1 := float64(alpha + 1)
+	return (math.Pow(x1-c, a1) - math.Pow(x0-c, a1)) / a1
+}
+
+// RectMoment returns the (α,β) moment of the characteristic function of
+// rectangle r about center (cx, cy).
+func RectMoment(r geom.Rect, cx, cy float64, alpha, beta int) float64 {
+	return interval1D(r.X0, r.X1, cx, alpha) * interval1D(r.Y0, r.Y1, cy, beta)
+}
+
+// Matrix builds the d-by-n moment matrix M_s whose column i holds the
+// moments of 1 volt on contact contacts[i] (and 0 elsewhere), about center
+// (cx, cy), for all orders <= p. Moments of order k are normalized by
+// side^k so that entries at different tree levels are comparable; side
+// should be the square's side length (pass 1 for unnormalized moments).
+func Matrix(layout *geom.Layout, contacts []int, cx, cy float64, p int, side float64) *la.Dense {
+	ords := Orders(p)
+	m := la.NewDense(len(ords), len(contacts))
+	for col, ci := range contacts {
+		r := layout.Contacts[ci].Rect
+		for row, ab := range ords {
+			v := RectMoment(r, cx, cy, ab[0], ab[1])
+			if side != 1 {
+				v /= math.Pow(side, float64(ab[0]+ab[1]))
+			}
+			m.Set(row, col, v)
+		}
+	}
+	return m
+}
+
+// OfVector returns the moments (orders <= p, normalized by side^order) of
+// the voltage function Σ v_i·χ_i over the given contacts about (cx, cy):
+// the quantity whose vanishing defines the W spaces (thesis eq. 3.5–3.6).
+func OfVector(layout *geom.Layout, contacts []int, v []float64, cx, cy float64, p int, side float64) []float64 {
+	m := Matrix(layout, contacts, cx, cy, p, side)
+	return m.MulVec(v)
+}

@@ -1,0 +1,104 @@
+package moments
+
+import (
+	"math"
+	"testing"
+
+	"subcouple/internal/geom"
+)
+
+func TestCountAndOrders(t *testing.T) {
+	for p := 0; p <= 4; p++ {
+		ords := Orders(p)
+		if len(ords) != Count(p) {
+			t.Fatalf("p=%d: %d orders vs Count %d", p, len(ords), Count(p))
+		}
+		seen := map[[2]int]bool{}
+		for _, ab := range ords {
+			if ab[0]+ab[1] > p || ab[0] < 0 || ab[1] < 0 {
+				t.Fatalf("bad order %v for p=%d", ab, p)
+			}
+			if seen[ab] {
+				t.Fatalf("duplicate order %v", ab)
+			}
+			seen[ab] = true
+		}
+	}
+	if Count(2) != 6 {
+		t.Fatalf("Count(2) = %d want 6", Count(2))
+	}
+}
+
+func TestRectMomentKnownValues(t *testing.T) {
+	r := geom.Rect{X0: 0, Y0: 0, X1: 2, Y1: 4}
+	// Zeroth moment = area.
+	if got := RectMoment(r, 0, 0, 0, 0); math.Abs(got-8) > 1e-12 {
+		t.Fatalf("area moment = %g", got)
+	}
+	// First x-moment about origin: ∫0..2 x dx · 4 = 2·4 = 8.
+	if got := RectMoment(r, 0, 0, 1, 0); math.Abs(got-8) > 1e-12 {
+		t.Fatalf("x moment = %g", got)
+	}
+	// About the rectangle's own center, first moments vanish.
+	if got := RectMoment(r, 1, 2, 1, 0); math.Abs(got) > 1e-12 {
+		t.Fatalf("centered x moment = %g", got)
+	}
+	if got := RectMoment(r, 1, 2, 0, 1); math.Abs(got) > 1e-12 {
+		t.Fatalf("centered y moment = %g", got)
+	}
+	// Second centered moment: ∫-1..1 x² dx · 4 = (2/3)·4.
+	if got := RectMoment(r, 1, 2, 2, 0); math.Abs(got-8.0/3) > 1e-12 {
+		t.Fatalf("x² moment = %g", got)
+	}
+}
+
+func TestRectMomentAgreesWithQuadrature(t *testing.T) {
+	r := geom.Rect{X0: 0.3, Y0: 1.1, X1: 2.7, Y1: 1.9}
+	cx, cy := 1.0, 1.5
+	const n = 400
+	hx := (r.X1 - r.X0) / n
+	hy := (r.Y1 - r.Y0) / n
+	for _, ab := range Orders(3) {
+		var num float64
+		for i := 0; i < n; i++ {
+			x := r.X0 + (float64(i)+0.5)*hx
+			for j := 0; j < n; j++ {
+				y := r.Y0 + (float64(j)+0.5)*hy
+				num += math.Pow(x-cx, float64(ab[0])) * math.Pow(y-cy, float64(ab[1]))
+			}
+		}
+		num *= hx * hy
+		got := RectMoment(r, cx, cy, ab[0], ab[1])
+		if math.Abs(got-num) > 1e-4*(1+math.Abs(num)) {
+			t.Fatalf("moment %v: analytic %g vs quadrature %g", ab, got, num)
+		}
+	}
+}
+
+func TestMatrixAndOfVector(t *testing.T) {
+	l := geom.RegularGrid(8, 8, 2, 2, 2)
+	m := Matrix(l, []int{0, 1, 2, 3}, 4, 4, 2, 1)
+	if m.Rows != 6 || m.Cols != 4 {
+		t.Fatalf("matrix shape %dx%d", m.Rows, m.Cols)
+	}
+	// Row 0 is the contact areas.
+	for j := 0; j < 4; j++ {
+		if math.Abs(m.At(0, j)-4) > 1e-12 {
+			t.Fatalf("area row wrong: %g", m.At(0, j))
+		}
+	}
+	// A balanced ±1 voltage pattern has zero 0th and 1st moments by the
+	// symmetry of the 2x2 grid about its center.
+	v := []float64{1, -1, -1, 1}
+	mom := OfVector(l, []int{0, 1, 2, 3}, v, 4, 4, 1, 1)
+	for k, x := range mom {
+		if math.Abs(x) > 1e-12 {
+			t.Fatalf("balanced pattern moment %d = %g", k, x)
+		}
+	}
+	// Normalization divides order-k moments by side^k.
+	mn := Matrix(l, []int{0}, 4, 4, 2, 2)
+	if math.Abs(mn.At(1, 0)-m.At(1, 0)/2) > 1e-12 {
+		t.Fatalf("side normalization wrong")
+	}
+}

@@ -1,0 +1,242 @@
+// Package render draws the thesis's figures as ASCII art and PGM images:
+// spy plots of sparse matrices (Figs 3-9, 3-10, 4-9, 4-11), contact layouts
+// (Figs 3-6..3-8, 4-1, 4-2, 4-8, 4-10), and voltage basis functions
+// (Figs 3-1..3-4).
+package render
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"subcouple/internal/geom"
+	"subcouple/internal/sparse"
+)
+
+// Spy renders the nonzero pattern of m as ASCII with the given display
+// width in characters (rows scale proportionally; '*' marks a cell
+// containing at least one nonzero).
+func Spy(m *sparse.Matrix, width int) string {
+	if width <= 0 || m.Rows == 0 || m.Cols == 0 {
+		return ""
+	}
+	height := width * m.Rows / m.Cols
+	if height < 1 {
+		height = 1
+	}
+	grid := make([][]bool, height)
+	for i := range grid {
+		grid[i] = make([]bool, width)
+	}
+	for r := 0; r < m.Rows; r++ {
+		gr := r * height / m.Rows
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			gc := m.ColIdx[k] * width / m.Cols
+			grid[gr][gc] = true
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%dx%d, nnz = %d, sparsity = %.1f\n", m.Rows, m.Cols, m.NNZ(), m.Sparsity())
+	for _, row := range grid {
+		for _, on := range row {
+			if on {
+				sb.WriteByte('*')
+			} else {
+				sb.WriteByte('.')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// SpyPGM renders the nonzero pattern as a binary-shade PGM image (P2,
+// one pixel per matrix cell up to maxDim, then downsampled).
+func SpyPGM(m *sparse.Matrix, maxDim int) string {
+	w, h := m.Cols, m.Rows
+	for w > maxDim || h > maxDim {
+		w = (w + 1) / 2
+		h = (h + 1) / 2
+	}
+	grid := make([]int, w*h)
+	for r := 0; r < m.Rows; r++ {
+		gr := r * h / m.Rows
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			grid[gr*w+m.ColIdx[k]*w/m.Cols] = 1
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "P2\n%d %d\n255\n", w, h)
+	for i, v := range grid {
+		if v == 1 {
+			sb.WriteString("0")
+		} else {
+			sb.WriteString("255")
+		}
+		if (i+1)%w == 0 {
+			sb.WriteByte('\n')
+		} else {
+			sb.WriteByte(' ')
+		}
+	}
+	return sb.String()
+}
+
+// Layout renders a contact layout as ASCII: '#' marks cells covered by a
+// contact.
+func Layout(l *geom.Layout, width int) string {
+	height := int(float64(width) * l.B / l.A)
+	if height < 1 {
+		height = 1
+	}
+	grid := make([][]bool, height)
+	for i := range grid {
+		grid[i] = make([]bool, width)
+	}
+	for _, c := range l.Contacts {
+		i0 := int(c.X0 / l.A * float64(width))
+		i1 := int(c.X1 / l.A * float64(width))
+		j0 := int(c.Y0 / l.B * float64(height))
+		j1 := int(c.Y1 / l.B * float64(height))
+		for i := i0; i <= i1 && i < width; i++ {
+			for j := j0; j <= j1 && j < height; j++ {
+				grid[j][i] = true
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %d contacts on %gx%g\n", l.Name, l.N(), l.A, l.B)
+	for j := height - 1; j >= 0; j-- { // y upward
+		for i := 0; i < width; i++ {
+			if grid[j][i] {
+				sb.WriteByte('#')
+			} else {
+				sb.WriteByte('.')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// VoltageFunction renders a voltage assignment over a layout's contacts in
+// the style of Figs 3-1..3-4: '+' for positive, '-' for negative, '0' for
+// (near) zero voltage, '.' for non-contact area.
+func VoltageFunction(l *geom.Layout, v []float64, width int) string {
+	height := int(float64(width) * l.B / l.A)
+	if height < 1 {
+		height = 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = make([]byte, width)
+		for j := range grid[i] {
+			grid[i][j] = '.'
+		}
+	}
+	scale := 0.0
+	for _, x := range v {
+		if a := abs(x); a > scale {
+			scale = a
+		}
+	}
+	for ci, c := range l.Contacts {
+		ch := byte('0')
+		if scale > 0 {
+			switch {
+			case v[ci] > 0.05*scale:
+				ch = '+'
+			case v[ci] < -0.05*scale:
+				ch = '-'
+			}
+		}
+		i0 := int(c.X0 / l.A * float64(width))
+		i1 := int(c.X1 / l.A * float64(width))
+		j0 := int(c.Y0 / l.B * float64(height))
+		j1 := int(c.Y1 / l.B * float64(height))
+		for i := i0; i <= i1 && i < width; i++ {
+			for j := j0; j <= j1 && j < height; j++ {
+				grid[j][i] = ch
+			}
+		}
+	}
+	var sb strings.Builder
+	for j := height - 1; j >= 0; j-- {
+		sb.Write(grid[j])
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Series renders a decreasing positive series (e.g. singular values) as an
+// ASCII semi-log plot in the style of Fig 4-3. Multiple series are plotted
+// with distinct glyphs.
+func Series(names []string, series [][]float64, height int) string {
+	glyphs := []byte{'*', 'o', '+', 'x'}
+	var lo, hi float64
+	first := true
+	maxLen := 0
+	for _, s := range series {
+		if len(s) > maxLen {
+			maxLen = len(s)
+		}
+		for _, v := range s {
+			if v <= 0 {
+				continue
+			}
+			l := log10(v)
+			if first {
+				lo, hi = l, l
+				first = false
+			}
+			if l < lo {
+				lo = l
+			}
+			if l > hi {
+				hi = l
+			}
+		}
+	}
+	if first || maxLen == 0 {
+		return "(empty)\n"
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = make([]byte, maxLen)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for j, v := range s {
+			if v <= 0 {
+				continue
+			}
+			row := int((hi - log10(v)) / (hi - lo) * float64(height-1))
+			grid[row][j] = g
+		}
+	}
+	var sb strings.Builder
+	for si, name := range names {
+		fmt.Fprintf(&sb, "%c = %s   ", glyphs[si%len(glyphs)], name)
+	}
+	fmt.Fprintf(&sb, "(log10 scale: %.1f at top, %.1f at bottom)\n", hi, lo)
+	for _, row := range grid {
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func log10(v float64) float64 { return math.Log10(v) }

@@ -1,0 +1,68 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"subcouple/internal/geom"
+	"subcouple/internal/sparse"
+)
+
+func TestSpy(t *testing.T) {
+	m := sparse.FromTriplets(4, 4, []sparse.Triplet{{Row: 0, Col: 0, Val: 1}, {Row: 3, Col: 3, Val: 1}})
+	s := Spy(m, 4)
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("spy has %d lines", len(lines))
+	}
+	if lines[1][0] != '*' || lines[4][3] != '*' {
+		t.Fatalf("diagonal marks missing:\n%s", s)
+	}
+	if lines[1][3] != '.' {
+		t.Fatalf("off-diagonal should be empty")
+	}
+	if !strings.Contains(lines[0], "nnz = 2") {
+		t.Fatalf("header missing nnz")
+	}
+}
+
+func TestSpyPGM(t *testing.T) {
+	m := sparse.FromTriplets(8, 8, []sparse.Triplet{{Row: 1, Col: 1, Val: 1}})
+	p := SpyPGM(m, 8)
+	if !strings.HasPrefix(p, "P2\n8 8\n255\n") {
+		t.Fatalf("bad PGM header: %q", p[:20])
+	}
+	if !strings.Contains(p, "0") {
+		t.Fatalf("no dark pixel")
+	}
+}
+
+func TestLayoutRender(t *testing.T) {
+	l := geom.RegularGrid(16, 16, 2, 2, 4)
+	s := Layout(l, 16)
+	if !strings.Contains(s, "#") {
+		t.Fatalf("no contact marks")
+	}
+	if !strings.Contains(s, "4 contacts") {
+		t.Fatalf("header wrong: %s", strings.SplitN(s, "\n", 2)[0])
+	}
+}
+
+func TestVoltageFunction(t *testing.T) {
+	l := geom.RegularGrid(16, 16, 2, 2, 4)
+	s := VoltageFunction(l, []float64{1, -1, 0, 1}, 16)
+	if !strings.Contains(s, "+") || !strings.Contains(s, "-") || !strings.Contains(s, "0") {
+		t.Fatalf("voltage glyphs missing:\n%s", s)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := Series([]string{"self", "separated"},
+		[][]float64{{1, 0.9, 0.8, 0.7}, {1, 0.01, 1e-4, 1e-6}}, 8)
+	if !strings.Contains(s, "*") || !strings.Contains(s, "o") {
+		t.Fatalf("series glyphs missing:\n%s", s)
+	}
+	if Series(nil, nil, 4) != "(empty)\n" {
+		t.Fatalf("empty series not handled")
+	}
+}

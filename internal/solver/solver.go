@@ -1,0 +1,117 @@
+// Package solver defines the black-box substrate solver abstraction at the
+// heart of the thesis: a routine which, given voltages on the n substrate
+// contacts, returns the n contact currents. The sparsification algorithms
+// never see anything else — no kernel, no matrix entries — so any solver
+// implementing this interface (finite-difference, eigenfunction-based, or a
+// user-supplied one) can be plugged in unmodified.
+package solver
+
+import (
+	"fmt"
+
+	"subcouple/internal/la"
+)
+
+// Solver is the black-box contact-voltages-to-contact-currents map.
+type Solver interface {
+	// N returns the number of contacts.
+	N() int
+	// Solve returns the contact currents for the given contact voltages.
+	Solve(v []float64) ([]float64, error)
+}
+
+// IterationReporter is implemented by iterative solvers that track their
+// inner iteration counts (used by Tables 2.1 and 2.2).
+type IterationReporter interface {
+	// AvgIterations returns the mean inner-iteration count per Solve call.
+	AvgIterations() float64
+}
+
+// Counting wraps a Solver and counts black-box calls, the currency of the
+// thesis's solve-reduction factor.
+type Counting struct {
+	S      Solver
+	Solves int
+}
+
+// NewCounting wraps s.
+func NewCounting(s Solver) *Counting { return &Counting{S: s} }
+
+// N implements Solver.
+func (c *Counting) N() int { return c.S.N() }
+
+// Solve implements Solver, incrementing the call counter.
+func (c *Counting) Solve(v []float64) ([]float64, error) {
+	c.Solves++
+	return c.S.Solve(v)
+}
+
+// Reset zeroes the call counter.
+func (c *Counting) Reset() { c.Solves = 0 }
+
+// Dense is a Solver backed by an explicit conductance matrix. It is used in
+// tests and to re-drive the sparsification algorithms cheaply once an exact
+// G has been extracted for error measurement.
+type Dense struct {
+	G *la.Dense
+}
+
+// NewDense wraps a conductance matrix.
+func NewDense(g *la.Dense) *Dense {
+	if g.Rows != g.Cols {
+		panic("solver: conductance matrix must be square")
+	}
+	return &Dense{G: g}
+}
+
+// N implements Solver.
+func (d *Dense) N() int { return d.G.Rows }
+
+// Solve implements Solver.
+func (d *Dense) Solve(v []float64) ([]float64, error) {
+	if len(v) != d.G.Rows {
+		return nil, fmt.Errorf("solver: voltage vector length %d, want %d", len(v), d.G.Rows)
+	}
+	return d.G.MulVec(v), nil
+}
+
+// ExtractDense runs the naive extraction: n black-box calls, one per
+// standard basis vector (thesis §1.2), returning the dense G.
+func ExtractDense(s Solver) (*la.Dense, error) {
+	n := s.N()
+	g := la.NewDense(n, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		e[j] = 1
+		col, err := s.Solve(e)
+		if err != nil {
+			return nil, fmt.Errorf("solver: extracting column %d: %w", j, err)
+		}
+		e[j] = 0
+		for i := 0; i < n; i++ {
+			g.Set(i, j, col[i])
+		}
+	}
+	return g, nil
+}
+
+// ExtractColumns runs the naive extraction for a subset of columns (used for
+// the thesis's 10%-sample error measurement on large examples).
+func ExtractColumns(s Solver, cols []int) (*la.Dense, error) {
+	n := s.N()
+	g := la.NewDense(n, len(cols))
+	e := make([]float64, n)
+	for ji, j := range cols {
+		if j < 0 || j >= n {
+			return nil, fmt.Errorf("solver: column %d out of range", j)
+		}
+		e[j] = 1
+		col, err := s.Solve(e)
+		if err != nil {
+			return nil, fmt.Errorf("solver: extracting column %d: %w", j, err)
+		}
+		e[j] = 0
+		g.SetCol(ji, col)
+	}
+	return g, nil
+}

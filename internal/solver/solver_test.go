@@ -1,0 +1,89 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"subcouple/internal/la"
+)
+
+func testG() *la.Dense {
+	return la.NewDenseFrom(3, 3, []float64{
+		2, -0.5, -0.3,
+		-0.5, 1.8, -0.4,
+		-0.3, -0.4, 2.2,
+	})
+}
+
+func TestDenseSolver(t *testing.T) {
+	g := testG()
+	s := NewDense(g)
+	if s.N() != 3 {
+		t.Fatalf("N = %d", s.N())
+	}
+	out, err := s.Solve([]float64{1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if out[i] != g.At(i, 0) {
+			t.Fatalf("Solve(e0)[%d] = %g", i, out[i])
+		}
+	}
+	if _, err := s.Solve([]float64{1, 2}); err == nil {
+		t.Fatalf("expected length error")
+	}
+}
+
+func TestCounting(t *testing.T) {
+	c := NewCounting(NewDense(testG()))
+	for i := 0; i < 5; i++ {
+		if _, err := c.Solve([]float64{1, 1, 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Solves != 5 {
+		t.Fatalf("Solves = %d", c.Solves)
+	}
+	c.Reset()
+	if c.Solves != 0 {
+		t.Fatalf("Reset failed")
+	}
+}
+
+func TestExtractDense(t *testing.T) {
+	g := testG()
+	c := NewCounting(NewDense(g))
+	got, err := ExtractDense(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Solves != 3 {
+		t.Fatalf("naive extraction used %d solves, want n=3", c.Solves)
+	}
+	for i := range g.Data {
+		if math.Abs(got.Data[i]-g.Data[i]) > 1e-15 {
+			t.Fatalf("ExtractDense mismatch at %d", i)
+		}
+	}
+}
+
+func TestExtractColumns(t *testing.T) {
+	g := testG()
+	s := NewDense(g)
+	got, err := ExtractColumns(s, []int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != 3 || got.Cols != 2 {
+		t.Fatalf("shape %dx%d", got.Rows, got.Cols)
+	}
+	for i := 0; i < 3; i++ {
+		if got.At(i, 0) != g.At(i, 2) || got.At(i, 1) != g.At(i, 0) {
+			t.Fatalf("column extraction wrong at row %d", i)
+		}
+	}
+	if _, err := ExtractColumns(s, []int{7}); err == nil {
+		t.Fatalf("expected range error")
+	}
+}

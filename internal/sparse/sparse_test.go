@@ -1,0 +1,156 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromTripletsDedup(t *testing.T) {
+	m := FromTriplets(3, 3, []Triplet{
+		{0, 0, 1}, {0, 0, 2}, {1, 2, -1}, {2, 1, 4}, {2, 1, -4},
+	})
+	if m.At(0, 0) != 3 {
+		t.Fatalf("dedup sum wrong: %g", m.At(0, 0))
+	}
+	if m.At(1, 2) != -1 {
+		t.Fatalf("entry wrong")
+	}
+	if m.At(2, 1) != 0 || m.NNZ() != 2 {
+		t.Fatalf("exact-zero entry not dropped: nnz=%d", m.NNZ())
+	}
+}
+
+func TestMulVecAndT(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	rows, cols := 7, 5
+	dense := make([][]float64, rows)
+	var ts []Triplet
+	for i := range dense {
+		dense[i] = make([]float64, cols)
+		for j := range dense[i] {
+			if rng.Float64() < 0.4 {
+				v := rng.NormFloat64()
+				dense[i][j] = v
+				ts = append(ts, Triplet{i, j, v})
+			}
+		}
+	}
+	m := FromTriplets(rows, cols, ts)
+	x := make([]float64, cols)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := m.MulVec(x)
+	for i := 0; i < rows; i++ {
+		var want float64
+		for j := 0; j < cols; j++ {
+			want += dense[i][j] * x[j]
+		}
+		if math.Abs(y[i]-want) > 1e-12 {
+			t.Fatalf("MulVec row %d: %g vs %g", i, y[i], want)
+		}
+	}
+	z := make([]float64, rows)
+	for i := range z {
+		z[i] = rng.NormFloat64()
+	}
+	w := m.MulVecT(z)
+	for j := 0; j < cols; j++ {
+		var want float64
+		for i := 0; i < rows; i++ {
+			want += dense[i][j] * z[i]
+		}
+		if math.Abs(w[j]-want) > 1e-12 {
+			t.Fatalf("MulVecT col %d: %g vs %g", j, w[j], want)
+		}
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	m := FromTriplets(2, 2, []Triplet{{0, 0, 5}, {0, 1, 0.1}, {1, 0, -0.2}, {1, 1, -3}})
+	th := m.Threshold(0.15)
+	if th.NNZ() != 3 {
+		t.Fatalf("nnz after threshold = %d", th.NNZ())
+	}
+	if th.At(0, 1) != 0 || th.At(1, 0) != -0.2 {
+		t.Fatalf("wrong entries dropped")
+	}
+}
+
+func TestThresholdForSparsity(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n := 40
+	var ts []Triplet
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			ts = append(ts, Triplet{i, j, rng.NormFloat64()})
+		}
+	}
+	m := FromTriplets(n, n, ts)
+	target := 8.0
+	th := m.ThresholdForSparsity(target)
+	if s := th.Sparsity(); math.Abs(s-target)/target > 0.1 {
+		t.Fatalf("sparsity %g not close to target %g", s, target)
+	}
+	// Already sparse enough: unchanged.
+	m2 := FromTriplets(n, n, []Triplet{{0, 0, 1}})
+	if m2.ThresholdForSparsity(2).NNZ() != 1 {
+		t.Fatalf("over-sparse matrix modified")
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	m := FromTriplets(2, 2, []Triplet{{0, 1, 2}})
+	s := m.Symmetrize()
+	if s.At(0, 1) != 1 || s.At(1, 0) != 1 {
+		t.Fatalf("Symmetrize wrong: %g %g", s.At(0, 1), s.At(1, 0))
+	}
+}
+
+func TestSparsityAndMaxAbs(t *testing.T) {
+	m := FromTriplets(4, 4, []Triplet{{0, 0, -7}, {1, 1, 2}})
+	if m.Sparsity() != 8 {
+		t.Fatalf("Sparsity = %g", m.Sparsity())
+	}
+	if m.MaxAbs() != 7 {
+		t.Fatalf("MaxAbs = %g", m.MaxAbs())
+	}
+	empty := FromTriplets(2, 2, nil)
+	if !math.IsInf(empty.Sparsity(), 1) || empty.MaxAbs() != 0 {
+		t.Fatalf("empty matrix stats wrong")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	// (Aᵀ)ᵀ behaviour: MulVecT of m equals MulVec of the transpose built by
+	// swapping triplets.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(8), 1+rng.Intn(8)
+		var ts, tsT []Triplet
+		for k := 0; k < rng.Intn(20); k++ {
+			i, j, v := rng.Intn(rows), rng.Intn(cols), rng.NormFloat64()
+			ts = append(ts, Triplet{i, j, v})
+			tsT = append(tsT, Triplet{j, i, v})
+		}
+		m := FromTriplets(rows, cols, ts)
+		mt := FromTriplets(cols, rows, tsT)
+		x := make([]float64, rows)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		a := m.MulVecT(x)
+		b := mt.MulVec(x)
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

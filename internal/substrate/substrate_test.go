@@ -1,0 +1,160 @@
+package substrate
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	p := Uniform(128, 40, 1, true)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Profile{A: 1, B: 1, Layers: []Layer{{Thickness: -1, Sigma: 1}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatalf("expected error for negative thickness")
+	}
+	if err := (&Profile{A: 1, B: 1}).Validate(); err == nil {
+		t.Fatalf("expected error for no layers")
+	}
+}
+
+func TestUniformLayerAnalytic(t *testing.T) {
+	// Single layer: λ = tanh(γd)/(σγ) grounded, coth(γd)/(σγ) floating.
+	p := Uniform(100, 25, 2.5, true)
+	for _, mn := range [][2]int{{1, 0}, {0, 3}, {4, 7}} {
+		g := p.Gamma(mn[0], mn[1])
+		want := math.Tanh(g*25) / (2.5 * g)
+		got := p.Lambda(mn[0], mn[1])
+		if math.Abs(got-want)/want > 1e-12 {
+			t.Fatalf("grounded λ(%d,%d) = %g want %g", mn[0], mn[1], got, want)
+		}
+	}
+	pf := Uniform(100, 25, 2.5, false)
+	g := pf.Gamma(2, 1)
+	want := 1 / (math.Tanh(g*25) * 2.5 * g)
+	if got := pf.Lambda(2, 1); math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("floating λ = %g want %g", got, want)
+	}
+}
+
+func TestLambdaDCMode(t *testing.T) {
+	p := &Profile{A: 10, B: 10, Grounded: true, Layers: []Layer{
+		{Thickness: 2, Sigma: 1}, {Thickness: 8, Sigma: 4},
+	}}
+	// λ_00 = Σ t_k/σ_k = 2/1 + 8/4 = 4.
+	if got := p.Lambda(0, 0); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("λ00 = %g want 4", got)
+	}
+	pf := *p
+	pf.Grounded = false
+	if !math.IsInf(pf.Lambda(0, 0), 1) {
+		t.Fatalf("floating λ00 must be +Inf")
+	}
+}
+
+func TestThesisRecursionMatchesTransmissionLine(t *testing.T) {
+	profiles := []*Profile{
+		TwoLayer(128, 40, 1, true),
+		TwoLayer(128, 40, 1, false),
+		Uniform(64, 10, 3, true),
+		{A: 50, B: 80, Grounded: false, Layers: []Layer{
+			{Thickness: 1, Sigma: 10}, {Thickness: 3, Sigma: 0.5}, {Thickness: 6, Sigma: 7},
+		}},
+	}
+	for pi, p := range profiles {
+		for m := 0; m <= 6; m++ {
+			for n := 0; n <= 6; n++ {
+				if m == 0 && n == 0 {
+					continue
+				}
+				a := p.Lambda(m, n)
+				b := p.LambdaThesis(m, n)
+				if a <= 0 || b <= 0 {
+					t.Fatalf("profile %d λ(%d,%d) not positive: %g %g", pi, m, n, a, b)
+				}
+				if math.Abs(a-b)/a > 1e-9 {
+					t.Fatalf("profile %d λ(%d,%d): TL %g vs thesis %g", pi, m, n, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestLambdaLargeModeStable(t *testing.T) {
+	// Large γ·d must not overflow: λ → 1/(σ_top·γ) as γ → ∞.
+	p := TwoLayer(128, 40, 1, true)
+	g := p.Gamma(500, 500)
+	got := p.Lambda(500, 500)
+	want := 1 / (1.0 * g)
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatalf("λ overflowed: %g", got)
+	}
+	if math.Abs(got-want)/want > 1e-6 {
+		t.Fatalf("high-mode λ = %g want ~%g", got, want)
+	}
+}
+
+func TestLambdaMonotoneDecreasing(t *testing.T) {
+	// λ_mn decreases as the mode number grows (smoother modes couple more).
+	p := TwoLayer(128, 40, 1, true)
+	prev := math.Inf(1)
+	for m := 0; m < 40; m++ {
+		l := p.Lambda(m, m)
+		if l >= prev {
+			t.Fatalf("λ not decreasing at m=%d: %g >= %g", m, l, prev)
+		}
+		prev = l
+	}
+}
+
+func TestResistiveShimRaisesLowModes(t *testing.T) {
+	// The shim mimics a floating backplane: long-wavelength modes see much
+	// higher impedance than with a plain grounded two-layer stack.
+	shim := TwoLayer(128, 40, 1, true)
+	plain := &Profile{A: 128, B: 128, Grounded: true, Layers: []Layer{
+		{Thickness: 0.5, Sigma: 1}, {Thickness: 39.5, Sigma: 100},
+	}}
+	if shim.Lambda(1, 0) < 1.2*plain.Lambda(1, 0) {
+		t.Fatalf("shim λ(1,0)=%g not larger than plain %g", shim.Lambda(1, 0), plain.Lambda(1, 0))
+	}
+	if shim.Lambda(0, 0) < 5*plain.Lambda(0, 0) {
+		t.Fatalf("shim λ(0,0)=%g not much larger than plain %g", shim.Lambda(0, 0), plain.Lambda(0, 0))
+	}
+	// High modes barely notice the shim (they decay before reaching it).
+	rs, rp := shim.Lambda(60, 60), plain.Lambda(60, 60)
+	if math.Abs(rs-rp)/rp > 1e-6 {
+		t.Fatalf("shim perturbs high modes: %g vs %g", rs, rp)
+	}
+}
+
+func TestLambdaGrid(t *testing.T) {
+	p := TwoLayer(128, 40, 1, true)
+	g := p.LambdaGrid(16)
+	if len(g) != 256 {
+		t.Fatalf("grid size %d", len(g))
+	}
+	// (0,0) entry equals 4/(ab)·λ00 (sinc 0 = 1).
+	want := 4 / (128.0 * 128.0) * p.Lambda(0, 0)
+	if math.Abs(g[0]-want)/want > 1e-12 {
+		t.Fatalf("grid[0] = %g want %g", g[0], want)
+	}
+	for i, v := range g {
+		if v <= 0 || math.IsNaN(v) {
+			t.Fatalf("grid[%d] = %g", i, v)
+		}
+	}
+	// Floating: DC entry must be zero.
+	pf := Uniform(128, 40, 1, false)
+	gf := pf.LambdaGrid(8)
+	if gf[0] != 0 {
+		t.Fatalf("floating DC grid entry = %g", gf[0])
+	}
+}
+
+func TestDepth(t *testing.T) {
+	p := TwoLayer(128, 40, 1, true)
+	if math.Abs(p.Depth()-40) > 1e-12 {
+		t.Fatalf("depth = %g", p.Depth())
+	}
+}

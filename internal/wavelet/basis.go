@@ -1,0 +1,327 @@
+// Package wavelet implements the Chapter 3 sparsification algorithm: a
+// multilevel orthogonal change of basis Q built from vanishing polynomial
+// moments, giving G ≈ Q·Gw·Qᵀ with sparse Q and (numerically) sparse Gw,
+// extracted from O(log n) black-box solves via the combine-solves technique
+// of §3.5.
+//
+// Construction (§3.4): in every finest-level square s the SVD of the moment
+// matrix M_s splits the square's voltage space into V_s (nonvanishing
+// moments, "slow-decaying") and W_s (vanishing moments up to order p,
+// "fast-decaying"). On coarser levels the child V bases are recombined by
+// the SVD of their parent-square moments into V_p and W_p. The W columns at
+// all levels plus the level-0 V columns form Q.
+package wavelet
+
+import (
+	"fmt"
+	"sort"
+
+	"subcouple/internal/geom"
+	"subcouple/internal/la"
+	"subcouple/internal/moments"
+	"subcouple/internal/quadtree"
+	"subcouple/internal/sparse"
+)
+
+// ColKind distinguishes Q columns.
+type ColKind int
+
+const (
+	// ColW is a vanishing-moments ("fast-decaying") basis vector.
+	ColW ColKind = iota
+	// ColV is a level-0 nonvanishing ("slow-decaying") basis vector.
+	ColV
+)
+
+// ColInfo describes one column of Q.
+type ColInfo struct {
+	Kind   ColKind
+	Level  int
+	Square *quadtree.Square
+	M      int // index within the square's W (or root V) block
+}
+
+// entry is one nonzero of a Q column.
+type entry struct {
+	row int
+	val float64
+}
+
+// Basis is the constructed multilevel wavelet basis.
+type Basis struct {
+	Layout  *geom.Layout
+	Tree    *quadtree.Tree
+	P       int // moment order
+	RankTol float64
+
+	Cols    []ColInfo
+	colVecs [][]entry
+	// wCols[level][squareID] lists global column indices of that square's
+	// W block, in order.
+	wCols    [][][]int
+	rootV    []int // global column indices of the level-0 V block
+	maxWAt   []int // max W-block size per level
+	droppedV int   // diagnostic: V columns surviving to level 0
+
+	// Construction data retained for the O(n) factored form (§3.4.3):
+	// per-finest-square full bases [V_s W_s], per-coarse-square
+	// recombination blocks (T_p R_p), and per-square V-column counts.
+	facFinest map[int]*la.Dense
+	facCoarse map[int]*la.Dense
+	facVCols  map[int]int
+}
+
+// NewBasis builds the wavelet basis for a layout already split so that no
+// contact crosses a finest-level square boundary. p is the moment order
+// (the thesis found p = 2 effective).
+func NewBasis(layout *geom.Layout, tree *quadtree.Tree, p int) (*Basis, error) {
+	if p < 0 {
+		return nil, fmt.Errorf("wavelet: moment order must be >= 0")
+	}
+	b := &Basis{Layout: layout, Tree: tree, P: p, RankTol: 1e-9,
+		facFinest: map[int]*la.Dense{}, facCoarse: map[int]*la.Dense{}, facVCols: map[int]int{}}
+	L := tree.MaxLevel
+	b.wCols = make([][][]int, L+1)
+	b.maxWAt = make([]int, L+1)
+	for lev := 0; lev <= L; lev++ {
+		b.wCols[lev] = make([][]int, len(tree.SquaresAt(lev)))
+	}
+
+	// vBasis[squareID] at the current level: dense matrix over the square's
+	// local contact ordering whose columns are the V (slow-decaying) basis
+	// vectors of that square, expressed in the standard contact basis.
+	vBasis := make(map[int]*la.Dense)
+
+	// Finest level: split each square's standard basis by the SVD of M_s.
+	for _, s := range tree.SquaresAt(L) {
+		ns := len(s.Contacts)
+		if ns == 0 {
+			continue
+		}
+		cx, cy := tree.Center(s)
+		m := moments.Matrix(layout, s.Contacts, cx, cy, p, tree.SideAt(L))
+		sigma, q := la.FullRightBasis(m)
+		vs := la.RankByThreshold(sigma, b.RankTol, 0)
+		vBasis[s.ID] = q.Cols2(0, vs)
+		b.appendW(s, q.Cols2(vs, ns), s.Contacts)
+		b.facFinest[s.ID] = q
+		b.facVCols[levelKey(L, s.ID)] = vs
+	}
+
+	// Coarser levels: recombine child V bases.
+	for lev := L - 1; lev >= 0; lev-- {
+		next := make(map[int]*la.Dense)
+		for _, s := range tree.SquaresAt(lev) {
+			np := len(s.Contacts)
+			if np == 0 {
+				continue
+			}
+			rowOf := make(map[int]int, np)
+			for r, ci := range s.Contacts {
+				rowOf[ci] = r
+			}
+			// Assemble V_children in the parent's contact ordering.
+			var totalCols int
+			children := tree.Children(s)
+			childV := make([]*la.Dense, len(children))
+			for ci, c := range children {
+				if v := vBasis[c.ID]; v != nil {
+					childV[ci] = v
+					totalCols += v.Cols
+				}
+			}
+			vch := la.NewDense(np, totalCols)
+			col := 0
+			for ci, c := range children {
+				v := childV[ci]
+				if v == nil {
+					continue
+				}
+				for r, contactIdx := range c.Contacts {
+					pr := rowOf[contactIdx]
+					for j := 0; j < v.Cols; j++ {
+						vch.Set(pr, col+j, v.At(r, j))
+					}
+				}
+				col += v.Cols
+			}
+			if totalCols == 0 {
+				continue
+			}
+			cx, cy := tree.Center(s)
+			mp := moments.Matrix(layout, s.Contacts, cx, cy, p, tree.SideAt(lev))
+			mv := la.Mul(mp, vch)
+			sigma, q := la.FullRightBasis(mv)
+			vs := la.RankByThreshold(sigma, b.RankTol, 0)
+			vNew := la.Mul(vch, q.Cols2(0, vs))
+			wNew := la.Mul(vch, q.Cols2(vs, totalCols))
+			next[s.ID] = vNew
+			b.appendW(s, wNew, s.Contacts)
+			b.facCoarse[levelKey(lev, s.ID)] = q
+			b.facVCols[levelKey(lev, s.ID)] = vs
+		}
+		vBasis = next
+	}
+
+	// Level-0 V columns join Q as the nonvanishing root block.
+	if v := vBasis[0]; v != nil {
+		root := tree.At(0, 0, 0)
+		for j := 0; j < v.Cols; j++ {
+			idx := len(b.Cols)
+			b.Cols = append(b.Cols, ColInfo{Kind: ColV, Level: 0, Square: root, M: j})
+			var es []entry
+			for r, ci := range root.Contacts {
+				if x := v.At(r, j); x != 0 {
+					es = append(es, entry{ci, x})
+				}
+			}
+			b.colVecs = append(b.colVecs, es)
+			b.rootV = append(b.rootV, idx)
+		}
+		b.droppedV = v.Cols
+	}
+
+	if len(b.Cols) != layout.N() {
+		return nil, fmt.Errorf("wavelet: basis has %d columns for %d contacts", len(b.Cols), layout.N())
+	}
+	return b, nil
+}
+
+// appendW registers the columns of w (over the square's local contacts) as
+// global Q columns.
+func (b *Basis) appendW(s *quadtree.Square, w *la.Dense, contacts []int) {
+	for j := 0; j < w.Cols; j++ {
+		idx := len(b.Cols)
+		b.Cols = append(b.Cols, ColInfo{Kind: ColW, Level: s.Level, Square: s, M: j})
+		var es []entry
+		for r, ci := range contacts {
+			if x := w.At(r, j); x != 0 {
+				es = append(es, entry{ci, x})
+			}
+		}
+		b.colVecs = append(b.colVecs, es)
+		b.wCols[s.Level][s.ID] = append(b.wCols[s.Level][s.ID], idx)
+	}
+	if n := len(b.wCols[s.Level][s.ID]); n > b.maxWAt[s.Level] {
+		b.maxWAt[s.Level] = n
+	}
+}
+
+// N returns the basis dimension (number of contacts).
+func (b *Basis) N() int { return len(b.Cols) }
+
+// Q materializes the change-of-basis matrix as a sparse matrix whose
+// columns are ordered: level-0 V block first, then W blocks level by level
+// from coarse to fine, squares in quadrant-hierarchical order within each
+// level (the thesis's spy-plot ordering, §3.7.1).
+func (b *Basis) Q() *sparse.Matrix {
+	order := b.ColumnOrder()
+	var ts []sparse.Triplet
+	for newIdx, oldIdx := range order {
+		for _, e := range b.colVecs[oldIdx] {
+			ts = append(ts, sparse.Triplet{Row: e.row, Col: newIdx, Val: e.val})
+		}
+	}
+	return sparse.FromTriplets(b.N(), b.N(), ts)
+}
+
+// ColumnOrder returns the presentation ordering of columns (old index per
+// new position): root V, then W per level in quadrant-hierarchical square
+// order.
+func (b *Basis) ColumnOrder() []int {
+	var order []int
+	order = append(order, b.rootV...)
+	for lev := 0; lev <= b.Tree.MaxLevel; lev++ {
+		for _, s := range b.Tree.QuadrantOrder(lev) {
+			order = append(order, b.wCols[lev][s.ID]...)
+		}
+	}
+	return order
+}
+
+// colDot returns the inner product of Q column idx with a dense vector.
+func (b *Basis) colDot(idx int, y []float64) float64 {
+	var s float64
+	for _, e := range b.colVecs[idx] {
+		s += e.val * y[e.row]
+	}
+	return s
+}
+
+// colAdd accumulates Q column idx (scaled) into a dense vector.
+func (b *Basis) colAdd(idx int, scale float64, y []float64) {
+	for _, e := range b.colVecs[idx] {
+		y[e.row] += scale * e.val
+	}
+}
+
+// ColVector materializes Q column idx as a dense length-n vector.
+func (b *Basis) ColVector(idx int) []float64 {
+	v := make([]float64, b.N())
+	b.colAdd(idx, 1, v)
+	return v
+}
+
+// localAtLevel reports whether column j's square, seen from level lev,
+// is local to square s at level lev (i.e. the ancestor of col j's square at
+// lev is s or a neighbor of s). Requires col j's level >= lev.
+func (b *Basis) localAtLevel(j int, s *quadtree.Square, lev int) bool {
+	cs := b.Cols[j].Square
+	shift := uint(cs.Level - lev)
+	ai, aj := cs.I>>shift, cs.J>>shift
+	di, dj := ai-s.I, aj-s.J
+	if di < 0 {
+		di = -di
+	}
+	if dj < 0 {
+		dj = -dj
+	}
+	return di <= 1 && dj <= 1
+}
+
+// keptPairs enumerates the (i, j) index pairs of Gw entries that the §3.5
+// locality assumption keeps, with i's level <= j's level and root-V columns
+// interacting with everything. Pairs are emitted once (i <= j not
+// guaranteed; use both orderings when assembling a symmetric matrix).
+func (b *Basis) keptPairs(emit func(i, j int)) {
+	// Root V with everything (including V-V).
+	for _, vi := range b.rootV {
+		for j := range b.Cols {
+			emit(vi, j)
+		}
+	}
+	// W-W pairs: coarse square s (level l) with all columns at level >= l
+	// whose level-l ancestor is local to s.
+	for lev := 0; lev <= b.Tree.MaxLevel; lev++ {
+		for _, s := range b.Tree.SquaresAt(lev) {
+			cols := b.wCols[lev][s.ID]
+			if len(cols) == 0 {
+				continue
+			}
+			targets := b.targetColumns(s, lev)
+			for _, ci := range cols {
+				for _, tj := range targets {
+					emit(ci, tj)
+				}
+			}
+		}
+	}
+}
+
+// targetColumns lists all W columns at levels >= lev whose level-lev
+// ancestor square is local to s.
+func (b *Basis) targetColumns(s *quadtree.Square, lev int) []int {
+	var out []int
+	for _, q := range b.Tree.Local(s) {
+		var rec func(sq *quadtree.Square)
+		rec = func(sq *quadtree.Square) {
+			out = append(out, b.wCols[sq.Level][sq.ID]...)
+			for _, c := range b.Tree.Children(sq) {
+				rec(c)
+			}
+		}
+		rec(q)
+	}
+	sort.Ints(out)
+	return out
+}

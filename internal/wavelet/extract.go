@@ -1,0 +1,180 @@
+package wavelet
+
+import (
+	"fmt"
+
+	"subcouple/internal/la"
+	"subcouple/internal/quadtree"
+	"subcouple/internal/solver"
+	"subcouple/internal/sparse"
+)
+
+// entryMap accumulates Gw entries with set (not sum) semantics.
+type entryMap struct {
+	n int
+	m map[int64]float64
+}
+
+func newEntryMap(n int) *entryMap { return &entryMap{n: n, m: make(map[int64]float64)} }
+
+func (e *entryMap) put(i, j int, v float64) {
+	e.m[int64(i)*int64(e.n)+int64(j)] = v
+	e.m[int64(j)*int64(e.n)+int64(i)] = v
+}
+
+func (e *entryMap) matrix() *sparse.Matrix {
+	ts := make([]sparse.Triplet, 0, len(e.m))
+	for k, v := range e.m {
+		ts = append(ts, sparse.Triplet{Row: int(k / int64(e.n)), Col: int(k % int64(e.n)), Val: v})
+	}
+	return sparse.FromTriplets(e.n, e.n, ts)
+}
+
+// ExtractCombined extracts Gws = (QᵀGQ restricted to the §3.5 locality
+// pattern) using the combine-solves technique: root-V and level-0/1 W
+// columns are solved directly; on each level >= 2 the W columns of squares
+// in the same (i mod 3, j mod 3) class are summed into one black-box call
+// (eq. 3.24) and the responses separated by locality. The number of solves
+// is O(log n) for reasonably regular layouts.
+func (b *Basis) ExtractCombined(s solver.Solver) (*sparse.Matrix, error) {
+	if s.N() != b.N() {
+		return nil, fmt.Errorf("wavelet: solver has %d contacts, basis %d", s.N(), b.N())
+	}
+	em := newEntryMap(b.N())
+
+	// Direct solves: root V columns and W columns on levels 0 and 1
+	// interact with everything.
+	var direct []int
+	direct = append(direct, b.rootV...)
+	for lev := 0; lev <= 1 && lev <= b.Tree.MaxLevel; lev++ {
+		for _, s := range b.Tree.SquaresAt(lev) {
+			direct = append(direct, b.wCols[lev][s.ID]...)
+		}
+	}
+	for _, cj := range direct {
+		y, err := s.Solve(b.ColVector(cj))
+		if err != nil {
+			return nil, err
+		}
+		for ci := range b.Cols {
+			em.put(ci, cj, b.colDot(ci, y))
+		}
+	}
+
+	// Combine-solves on levels 2..L.
+	for lev := 2; lev <= b.Tree.MaxLevel; lev++ {
+		classes := make(map[[2]int][]*quadtree.Square)
+		for _, sq := range b.Tree.SquaresAt(lev) {
+			if len(b.wCols[lev][sq.ID]) == 0 {
+				continue
+			}
+			a, c := quadtree.Mod3Class(sq)
+			classes[[2]int{a, c}] = append(classes[[2]int{a, c}], sq)
+		}
+		for _, members := range classes {
+			maxm := 0
+			for _, sq := range members {
+				if n := len(b.wCols[lev][sq.ID]); n > maxm {
+					maxm = n
+				}
+			}
+			for m := 0; m < maxm; m++ {
+				theta := make([]float64, b.N())
+				var contributors []*quadtree.Square
+				for _, sq := range members {
+					cols := b.wCols[lev][sq.ID]
+					if m < len(cols) {
+						b.colAdd(cols[m], 1, theta)
+						contributors = append(contributors, sq)
+					}
+				}
+				if len(contributors) == 0 {
+					continue
+				}
+				y, err := s.Solve(theta)
+				if err != nil {
+					return nil, err
+				}
+				for _, sq := range contributors {
+					cj := b.wCols[lev][sq.ID][m]
+					for _, ti := range b.targetColumns(sq, lev) {
+						em.put(ti, cj, b.colDot(ti, y))
+					}
+				}
+			}
+		}
+	}
+	return em.matrix(), nil
+}
+
+// ExtractDirect extracts the same locality-restricted Gws but with one
+// black-box solve per basis column (n solves): the combine-solves ablation.
+// Kept entries are exact inner products qᵢᵀ·G·qⱼ.
+func (b *Basis) ExtractDirect(s solver.Solver) (*sparse.Matrix, error) {
+	if s.N() != b.N() {
+		return nil, fmt.Errorf("wavelet: solver has %d contacts, basis %d", s.N(), b.N())
+	}
+	n := b.N()
+	resp := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		y, err := s.Solve(b.ColVector(j))
+		if err != nil {
+			return nil, err
+		}
+		resp[j] = y
+	}
+	em := newEntryMap(n)
+	b.keptPairs(func(i, j int) {
+		em.put(i, j, b.colDot(i, resp[j]))
+	})
+	return em.matrix(), nil
+}
+
+// FullGw computes the complete dense Gw = QᵀGQ from an explicit G (used to
+// study thresholding against the exact transform on small examples).
+func (b *Basis) FullGw(g *la.Dense) *la.Dense {
+	n := b.N()
+	gq := la.NewDense(n, n) // G·Q
+	for j := 0; j < n; j++ {
+		for _, e := range b.colVecs[j] {
+			for i := 0; i < n; i++ {
+				gq.Data[i*n+j] += e.val * g.At(i, e.row)
+			}
+		}
+	}
+	out := la.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var sum float64
+			for _, e := range b.colVecs[i] {
+				sum += e.val * gq.At(e.row, j)
+			}
+			out.Set(i, j, sum)
+		}
+	}
+	return out
+}
+
+// Apply computes Q·Gw·Qᵀ·x — the sparsified operator applied to contact
+// voltages.
+func (b *Basis) Apply(gw *sparse.Matrix, x []float64) []float64 {
+	u := make([]float64, b.N())
+	for c := range b.Cols {
+		u[c] = b.colDot(c, x)
+	}
+	w := gw.MulVec(u)
+	out := make([]float64, b.N())
+	for c, wc := range w {
+		if wc != 0 {
+			b.colAdd(c, wc, out)
+		}
+	}
+	return out
+}
+
+// ApproxColumn returns column j of Q·Gw·Qᵀ.
+func (b *Basis) ApproxColumn(gw *sparse.Matrix, j int) []float64 {
+	x := make([]float64, b.N())
+	x[j] = 1
+	return b.Apply(gw, x)
+}

@@ -1,0 +1,225 @@
+package wavelet
+
+import (
+	"fmt"
+
+	"subcouple/internal/la"
+)
+
+// FactoredQ is the O(n)-storage representation of the wavelet basis from
+// thesis §3.4.3: instead of the explicit sparse Q (O(n log n) nonzeros),
+// the change of basis is kept as the product
+//
+//	Q = Q⁽ᴸ⁾ · Q⁽ᴸ⁻¹⁾ · … · Q⁽⁰⁾,
+//
+// where Q⁽ᴸ⁾ holds the finest-level per-square bases [V_s W_s] over the
+// square's contacts and each coarser Q⁽ⁱ⁾ holds the small recombination
+// blocks ( T_p R_p ); everything else is an implicit identity. Total
+// storage is O(n) and applying Q or Qᵀ costs O(n), versus O(n log n) for
+// the explicit sparse Q.
+//
+// Coordinates: the chain input is the Basis's native coefficient indexing
+// (positions in Basis.Cols); the chain output is contact space. At the
+// stage between Q⁽ˡ⁻¹⁾ and Q⁽ˡ⁾ the live coordinates are the native
+// positions of all W columns at levels >= l plus "V slots" holding the
+// level-l V coefficients; the V slots are drawn from the complement so the
+// two sets never collide.
+type FactoredQ struct {
+	n      int
+	levels []*factorLevel // levels[l] = Q⁽ˡ⁾, l = 0 … L
+}
+
+type factorLevel struct {
+	blocks []factorBlock
+	// passThrough lists coordinates copied unchanged by this factor.
+	passThrough []int
+}
+
+// factorBlock is one dense block: out[outIdx] = m · in[inIdx].
+type factorBlock struct {
+	m      *la.Dense
+	inIdx  []int
+	outIdx []int
+}
+
+// Apply computes Q·x, mapping native coefficients to contact space.
+func (f *FactoredQ) Apply(x []float64) []float64 {
+	if len(x) != f.n {
+		panic("wavelet: FactoredQ.Apply dimension mismatch")
+	}
+	cur := append([]float64(nil), x...)
+	for _, lv := range f.levels { // Q⁽⁰⁾ first
+		cur = lv.forward(cur)
+	}
+	return cur
+}
+
+// ApplyT computes Qᵀ·x, mapping contact space to native coefficients.
+func (f *FactoredQ) ApplyT(x []float64) []float64 {
+	if len(x) != f.n {
+		panic("wavelet: FactoredQ.ApplyT dimension mismatch")
+	}
+	cur := append([]float64(nil), x...)
+	for i := len(f.levels) - 1; i >= 0; i-- {
+		cur = f.levels[i].backward(cur)
+	}
+	return cur
+}
+
+func (lv *factorLevel) forward(in []float64) []float64 {
+	out := make([]float64, len(in))
+	for _, i := range lv.passThrough {
+		out[i] = in[i]
+	}
+	for _, blk := range lv.blocks {
+		for r, oi := range blk.outIdx {
+			var s float64
+			row := blk.m.Row(r)
+			for c, ii := range blk.inIdx {
+				s += row[c] * in[ii]
+			}
+			out[oi] = s
+		}
+	}
+	return out
+}
+
+func (lv *factorLevel) backward(in []float64) []float64 {
+	out := make([]float64, len(in))
+	for _, i := range lv.passThrough {
+		out[i] = in[i]
+	}
+	for _, blk := range lv.blocks {
+		for c, ii := range blk.inIdx {
+			var s float64
+			for r, oi := range blk.outIdx {
+				s += blk.m.At(r, c) * in[oi]
+			}
+			out[ii] = s
+		}
+	}
+	return out
+}
+
+// NNZ returns the stored entry count across all factors — the O(n) storage
+// promised by the thesis §3.4.3 analysis (eq. 3.18).
+func (f *FactoredQ) NNZ() int {
+	total := 0
+	for _, lv := range f.levels {
+		for _, blk := range lv.blocks {
+			total += blk.m.Rows * blk.m.Cols
+		}
+	}
+	return total
+}
+
+// Factored builds the factored representation. The result satisfies
+// Factored().Apply(e_k) == ColVector(k) for every native column k.
+func (b *Basis) Factored() (*FactoredQ, error) {
+	if b.facFinest == nil {
+		return nil, fmt.Errorf("wavelet: factored construction data missing")
+	}
+	n := b.N()
+	tree := b.Tree
+	L := tree.MaxLevel
+	f := &FactoredQ{n: n}
+
+	// Native positions of W columns per level.
+	wAtOrAbove := make([]map[int]bool, L+2) // wAtOrAbove[l] = W native positions at levels >= l
+	wAtOrAbove[L+1] = map[int]bool{}
+	for lev := L; lev >= 0; lev-- {
+		m := map[int]bool{}
+		for k := range wAtOrAbove[lev+1] {
+			m[k] = true
+		}
+		for _, s := range tree.SquaresAt(lev) {
+			for _, c := range b.wCols[lev][s.ID] {
+				m[c] = true
+			}
+		}
+		wAtOrAbove[lev] = m
+	}
+
+	// V slots per level: level 0 uses the native root-V positions; deeper
+	// levels take the complement of wAtOrAbove[lev] in ascending order,
+	// handed out square by square.
+	vSlots := make([]map[int][]int, L+1) // [level][squareID] -> slots
+	vSlots[0] = map[int][]int{0: append([]int(nil), b.rootV...)}
+	for lev := 1; lev <= L; lev++ {
+		var free []int
+		for i := 0; i < n; i++ {
+			if !wAtOrAbove[lev][i] {
+				free = append(free, i)
+			}
+		}
+		m := map[int][]int{}
+		pos := 0
+		for _, s := range tree.SquaresAt(lev) {
+			vc := b.facVCols[levelKey(lev, s.ID)]
+			if vc == 0 {
+				continue
+			}
+			m[s.ID] = free[pos : pos+vc]
+			pos += vc
+		}
+		if pos != len(free) {
+			return nil, fmt.Errorf("wavelet: V slot accounting off at level %d: %d vs %d", lev, pos, len(free))
+		}
+		vSlots[lev] = m
+	}
+
+	// Coarse factors Q⁽ˡ⁾ for l < L: per square, child V coefficients =
+	// [T R]·[V_s coeffs ; W_s coeffs].
+	for lev := 0; lev < L; lev++ {
+		lv := &factorLevel{}
+		consumed := map[int]bool{}
+		for _, s := range tree.SquaresAt(lev) {
+			blkm := b.facCoarse[levelKey(lev, s.ID)]
+			if blkm == nil {
+				continue
+			}
+			inIdx := append([]int(nil), vSlots[lev][s.ID]...)
+			inIdx = append(inIdx, b.wCols[lev][s.ID]...)
+			var outIdx []int
+			for _, c := range tree.Children(s) {
+				outIdx = append(outIdx, vSlots[lev+1][c.ID]...)
+			}
+			if len(inIdx) != blkm.Cols || len(outIdx) != blkm.Rows {
+				return nil, fmt.Errorf("wavelet: factor block shape mismatch at level %d", lev)
+			}
+			for _, i := range inIdx {
+				consumed[i] = true
+			}
+			for _, o := range outIdx {
+				consumed[o] = true
+			}
+			lv.blocks = append(lv.blocks, factorBlock{m: blkm, inIdx: inIdx, outIdx: outIdx})
+		}
+		for i := 0; i < n; i++ {
+			if !consumed[i] && wAtOrAbove[lev+1][i] {
+				lv.passThrough = append(lv.passThrough, i)
+			}
+		}
+		f.levels = append(f.levels, lv)
+	}
+
+	// Finest factor Q⁽ᴸ⁾: contacts = [V_s W_s]·coeffs per square.
+	lvf := &factorLevel{}
+	for _, s := range tree.SquaresAt(L) {
+		blkm := b.facFinest[s.ID]
+		if blkm == nil {
+			continue
+		}
+		inIdx := append([]int(nil), vSlots[L][s.ID]...)
+		inIdx = append(inIdx, b.wCols[L][s.ID]...)
+		outIdx := append([]int(nil), s.Contacts...)
+		if len(inIdx) != blkm.Cols || len(outIdx) != blkm.Rows {
+			return nil, fmt.Errorf("wavelet: finest factor block shape mismatch")
+		}
+		lvf.blocks = append(lvf.blocks, factorBlock{m: blkm, inIdx: inIdx, outIdx: outIdx})
+	}
+	f.levels = append(f.levels, lvf)
+	return f, nil
+}
+
+func levelKey(level, id int) int { return level<<24 | id }

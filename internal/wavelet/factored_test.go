@@ -1,0 +1,113 @@
+package wavelet
+
+import (
+	"math"
+	"testing"
+
+	"subcouple/internal/geom"
+	"subcouple/internal/quadtree"
+)
+
+func TestFactoredMatchesExplicitQ(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		b    func(t *testing.T) *Basis
+	}{
+		{"regular-p2", func(t *testing.T) *Basis { b, _ := regularBasis(t, 2); return b }},
+		{"regular-p0", func(t *testing.T) *Basis { b, _ := regularBasis(t, 0); return b }},
+		{"irregular", func(t *testing.T) *Basis {
+			layout := geom.IrregularSameSize(64, 64, 16, 16, 2, 0.5, 3)
+			tree, err := quadtree.Build(layout, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := NewBasis(layout, tree, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.b(t)
+			f, err := b.Factored()
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := b.N()
+			e := make([]float64, n)
+			for k := 0; k < n; k++ {
+				e[k] = 1
+				got := f.Apply(e)
+				e[k] = 0
+				want := b.ColVector(k)
+				for i := range got {
+					if math.Abs(got[i]-want[i]) > 1e-10 {
+						t.Fatalf("column %d differs at row %d: %g vs %g", k, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestFactoredTransposeRoundTrip(t *testing.T) {
+	b, _ := extractBasis(t)
+	f, err := b.Factored()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, b.N())
+	for i := range x {
+		x[i] = math.Sin(float64(i) * 0.7)
+	}
+	// Qᵀ·Q·x = x (orthogonality through the factored chain).
+	y := f.ApplyT(f.Apply(x))
+	for i := range x {
+		if math.Abs(y[i]-x[i]) > 1e-10 {
+			t.Fatalf("round trip differs at %d: %g vs %g", i, y[i], x[i])
+		}
+	}
+}
+
+func TestFactoredStorageIsLinear(t *testing.T) {
+	// Thesis §3.4.3 (eq. 3.18): the factored form stores O(n) entries while
+	// the explicit Q has O(n log n) nonzeros. Check the per-contact storage
+	// stays bounded as n quadruples, and that the factored form beats the
+	// explicit Q on the deeper example.
+	sizes := []struct {
+		nx, lev int
+	}{{8, 3}, {16, 4}, {32, 5}}
+	var perContact []float64
+	var lastFactored, lastExplicit int
+	for _, sz := range sizes {
+		layout := geom.RegularGrid(float64(sz.nx*4), float64(sz.nx*4), sz.nx, sz.nx, 2)
+		tree, err := quadtree.Build(layout, sz.lev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewBasis(layout, tree, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := b.Factored()
+		if err != nil {
+			t.Fatal(err)
+		}
+		perContact = append(perContact, float64(f.NNZ())/float64(b.N()))
+		lastFactored = f.NNZ()
+		lastExplicit = b.Q().NNZ()
+	}
+	for i, pc := range perContact {
+		if pc > 60 {
+			t.Fatalf("size %d: %.1f stored entries per contact, not O(n)-like", i, pc)
+		}
+	}
+	// Growth between consecutive sizes must be bounded (no log factor blowup).
+	if perContact[2] > 1.5*perContact[1] {
+		t.Fatalf("per-contact storage still growing fast: %v", perContact)
+	}
+	if lastFactored >= lastExplicit {
+		t.Fatalf("factored (%d) not smaller than explicit Q (%d)", lastFactored, lastExplicit)
+	}
+}
