@@ -145,6 +145,33 @@ func BenchmarkTable43Large(b *testing.B) {
 
 // --- ablations (design choices called out in DESIGN.md) --------------------
 
+// BenchmarkExtractSerial/Parallel are the parallel-engine ablation pair:
+// the same end-to-end low-rank extraction of the 256-contact alternating
+// example against the live eigenfunction solver, fully serial (Workers: 1)
+// vs the whole worker pool (Workers: 0 = all CPUs). The two produce
+// bitwise-identical results; on a multi-core machine the parallel variant
+// should win by roughly the core count.
+func BenchmarkExtractSerial(b *testing.B)   { benchExtractWorkers(b, 1) }
+func BenchmarkExtractParallel(b *testing.B) { benchExtractWorkers(b, 0) }
+
+func benchExtractWorkers(b *testing.B, workers int) {
+	c := experiments.Example3(experiments.Small) // 256 contacts
+	s, err := experiments.BemSolver(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Extract(s, c.Layout, core.Options{
+			Method: core.LowRank, MaxLevel: c.MaxLevel, Workers: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Solves), "solves")
+	}
+}
+
 // BenchmarkAblationCombineSolvesOn/Off measure the extraction with and
 // without the §3.5 combine-solves technique (the Off variant pays one
 // black-box call per vector).

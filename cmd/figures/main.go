@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -120,20 +121,35 @@ func waveletSpy() error {
 	if err != nil {
 		return err
 	}
-	res, err := core.Extract(solver.NewDense(g), c.Layout, core.Options{
-		Method: core.Wavelet, MaxLevel: c.MaxLevel, ThresholdFactor: 6,
-	})
+	fmt.Println("Figs 3-9/3-10: spy plots of wavelet Gws and thresholded Gwt (Example 2)")
+	res, err := renderSpies(os.Stdout, g, c.Layout, c.MaxLevel, core.Wavelet, 72)
 	if err != nil {
 		return err
 	}
-	fmt.Println("Fig 3-9: spy plot of wavelet Gws (quadrant-hierarchical ordering)")
-	fmt.Println(render.Spy(res.GwReordered(false), 72))
-	fmt.Println("Fig 3-10: spy plot after thresholding (Gwt)")
-	fmt.Println(render.Spy(res.GwReordered(true), 72))
 	if err := writePGM("fig3-9.pgm", res.GwReordered(false)); err != nil {
 		return err
 	}
 	return writePGM("fig3-10.pgm", res.GwReordered(true))
+}
+
+// renderSpies sparsifies a dense G with the given method (threshold
+// factor 6) and writes labeled spy plots of the reordered Gw and Gwt to w.
+// Split out of the figure commands so the golden-file test can drive it on
+// small fixed layouts.
+func renderSpies(w io.Writer, g *la.Dense, layout *geom.Layout, maxLevel int, method core.Method, width int) (*core.Result, error) {
+	res, err := core.Extract(solver.NewDense(g), layout, core.Options{
+		Method: method, MaxLevel: maxLevel, ThresholdFactor: 6,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(w, "Gw spy plot (quadrant-hierarchical ordering):")
+	fmt.Fprintln(w, render.Spy(res.GwReordered(false), width))
+	if res.Gwt != nil {
+		fmt.Fprintln(w, "Gwt spy plot (thresholded):")
+		fmt.Fprintln(w, render.Spy(res.GwReordered(true), width))
+	}
+	return res, nil
 }
 
 // section41 reproduces the §4.1 worked example on the Fig 4-1 layout:
@@ -229,14 +245,11 @@ func lowRankSpy() error {
 	if err != nil {
 		return err
 	}
-	res, err := core.Extract(solver.NewDense(g), c.Layout, core.Options{
-		Method: core.LowRank, MaxLevel: c.MaxLevel, ThresholdFactor: 6,
-	})
+	fmt.Println("Fig 4-9: spy plots of the low-rank Gw/Gwt (mixed-shapes example)")
+	res, err := renderSpies(os.Stdout, g, c.Layout, c.MaxLevel, core.LowRank, 72)
 	if err != nil {
 		return err
 	}
-	fmt.Println("Fig 4-9: spy plot of the low-rank Gwt (mixed-shapes example)")
-	fmt.Println(render.Spy(res.GwReordered(true), 72))
 	return writePGM("fig4-9.pgm", res.GwReordered(true))
 }
 

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"subcouple/internal/core"
+	"subcouple/internal/experiments"
+	"subcouple/internal/geom"
+	"subcouple/internal/golden"
+)
+
+// TestSpyPlotsGolden pins the spy-plot figures (Figs 3-9/3-10 and 4-9
+// pipeline) on a small synthetic-G case; at most 1% of the characters may
+// drift (cells near a threshold can flip with floating-point noise).
+func TestSpyPlotsGolden(t *testing.T) {
+	layout, maxLevel := core.Prepare(geom.AlternatingGrid(64, 64, 8, 8, 1, 7), 4)
+	g := experiments.SyntheticG(layout)
+	for _, tc := range []struct {
+		name   string
+		method core.Method
+	}{
+		{"wavelet", core.Wavelet},
+		{"lowrank", core.LowRank},
+	} {
+		var buf bytes.Buffer
+		if _, err := renderSpies(&buf, g, layout, maxLevel, tc.method, 48); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		golden.CheckArt(t, "testdata/spy_"+tc.name+".golden", buf.String(), 0.01)
+	}
+}

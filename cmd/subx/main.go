@@ -41,6 +41,7 @@ func main() {
 		spy        = flag.Bool("spy", false, "print spy plots of Gw (and Gwt)")
 		save       = flag.String("save", "", "write the extracted model (gob) to this file")
 		probes     = flag.Int("probes", 0, "stochastic error estimate with this many probe solves")
+		workers    = flag.Int("workers", 0, "worker pool size for parallel extraction (0 = all CPUs, 1 = serial); results are identical for any value")
 	)
 	flag.Parse()
 	log.SetFlags(log.Ltime)
@@ -80,6 +81,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("bem solver: %v", err)
 		}
+		b.Workers = *workers
 		log.Printf("eigenfunction solver: %d panels per side, %d contact panels", np, b.NumPanels())
 		s = b
 	case "fd":
@@ -87,6 +89,7 @@ func main() {
 		prof.Layers[1].Thickness = *depth - 3
 		f, err := fd.New(prof, layout, fd.Options{
 			H: 1, Placement: fd.Inside, Precond: fd.PrecondFastPoisson, AreaWeighted: true,
+			Workers: *workers,
 		})
 		if err != nil {
 			log.Fatalf("fd solver: %v", err)
@@ -103,7 +106,7 @@ func main() {
 		m = core.Wavelet
 	}
 	res, err := core.Extract(s, layout, core.Options{
-		Method: m, MaxLevel: maxLevel, ThresholdFactor: *threshold,
+		Method: m, MaxLevel: maxLevel, ThresholdFactor: *threshold, Workers: *workers,
 	})
 	if err != nil {
 		log.Fatalf("extract: %v", err)

@@ -18,7 +18,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
 	"subcouple/internal/core"
@@ -33,8 +35,10 @@ func main() {
 	table := flag.String("table", "all", "which table to regenerate")
 	small := flag.Bool("small", false, "shrink examples ~4x for a fast run")
 	large := flag.Bool("large", false, "include the 10240-contact Example 5 (slow)")
+	workers := flag.Int("workers", 0, "worker pool size for parallel extraction (0 = all CPUs, 1 = serial); results are identical for any value")
 	flag.Parse()
 	log.SetFlags(log.Ltime)
+	experiments.Workers = *workers
 
 	scale := experiments.Full
 	if *small {
@@ -123,9 +127,6 @@ func table31(scale experiments.Scale) error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("\nTable 3.1: Sparsity and accuracy for wavelet sparsification")
-	fmt.Printf("%-16s %10s %10s %12s %12s %14s\n",
-		"Example", "n", "solves", "sparsity Gws", "max rel err", "thresh: >10%")
 	rows := make([]experiments.SparsifyStats, 0, len(cases)+1)
 	for i, c := range cases {
 		st, err := experiments.RunSparsify(c, gs[i], core.Wavelet, 0)
@@ -140,13 +141,22 @@ func table31(scale experiments.Scale) error {
 		return err
 	}
 	rows = append(rows[:1], append([]experiments.SparsifyStats{st1b}, rows[1:]...)...)
+	printTable31(os.Stdout, rows)
+	return nil
+}
+
+// printTable31 renders Table 3.1 rows (split out so the golden-file test
+// can drive it with small fixed layouts).
+func printTable31(w io.Writer, rows []experiments.SparsifyStats) {
+	fmt.Fprintln(w, "\nTable 3.1: Sparsity and accuracy for wavelet sparsification")
+	fmt.Fprintf(w, "%-16s %10s %10s %12s %12s %14s\n",
+		"Example", "n", "solves", "sparsity Gws", "max rel err", "thresh: >10%")
 	for _, st := range rows {
-		fmt.Printf("%-16s %10d %10d %12.1f %11.1f%% %13.1f%%\n",
+		fmt.Fprintf(w, "%-16s %10d %10d %12.1f %11.1f%% %13.1f%%\n",
 			st.Example, st.N, st.Solves, st.SparsityGw, 100*st.MaxRel, 100*st.FracAbove10Thr)
 	}
-	fmt.Println("(paper shape: regular/irregular same-size layouts accurate; alternating-size layout breaks down)")
-	fmt.Println()
-	return nil
+	fmt.Fprintln(w, "(paper shape: regular/irregular same-size layouts accurate; alternating-size layout breaks down)")
+	fmt.Fprintln(w)
 }
 
 // example1bWavelet runs the regular layout against the finite-difference
@@ -190,8 +200,7 @@ func table41and42(scale experiments.Scale) error {
 	}
 	ch4G[2] = gm
 
-	type pair struct{ lr, wv experiments.SparsifyStats }
-	var rows []pair
+	var rows []methodPair
 	for i, c := range ch4 {
 		lr, err := experiments.RunSparsify(c, ch4G[i], core.LowRank, 0)
 		if err != nil {
@@ -201,30 +210,38 @@ func table41and42(scale experiments.Scale) error {
 		if err != nil {
 			return err
 		}
-		rows = append(rows, pair{lr, wv})
+		rows = append(rows, methodPair{lr, wv})
 	}
+	printTables41and42(os.Stdout, rows)
+	return nil
+}
 
-	fmt.Println("\nTable 4.1: Sparsity/accuracy tradeoff, low-rank vs wavelet (no thresholding)")
-	fmt.Printf("%-18s %9s %9s %11s %11s %9s %9s\n",
+// methodPair holds one example's stats under both sparsification methods.
+type methodPair struct{ lr, wv experiments.SparsifyStats }
+
+// printTables41and42 renders Tables 4.1 and 4.2 (split out so the
+// golden-file test can drive it with small fixed layouts).
+func printTables41and42(w io.Writer, rows []methodPair) {
+	fmt.Fprintln(w, "\nTable 4.1: Sparsity/accuracy tradeoff, low-rank vs wavelet (no thresholding)")
+	fmt.Fprintf(w, "%-18s %9s %9s %11s %11s %9s %9s\n",
 		"Example", "spars(LR)", "spars(W)", "maxerr(LR)", "maxerr(W)", "red(LR)", "red(W)")
 	for _, p := range rows {
-		fmt.Printf("%-18s %9.1f %9.1f %10.1f%% %10.1f%% %9.1f %9.1f\n",
+		fmt.Fprintf(w, "%-18s %9.1f %9.1f %10.1f%% %10.1f%% %9.1f %9.1f\n",
 			p.lr.Example, p.lr.SparsityGw, p.wv.SparsityGw,
 			100*p.lr.MaxRel, 100*p.wv.MaxRel,
 			p.lr.SolveReduction, p.wv.SolveReduction)
 	}
-	fmt.Println("(paper shape: comparable on the regular grid; low-rank far better on alternating/mixed)")
+	fmt.Fprintln(w, "(paper shape: comparable on the regular grid; low-rank far better on alternating/mixed)")
 
-	fmt.Println("\nTable 4.2: Thresholded (~6x) sparsity/accuracy, low-rank vs wavelet")
-	fmt.Printf("%-18s %12s %12s %14s %14s\n",
+	fmt.Fprintln(w, "\nTable 4.2: Thresholded (~6x) sparsity/accuracy, low-rank vs wavelet")
+	fmt.Fprintf(w, "%-18s %12s %12s %14s %14s\n",
 		"Example", "spars Gwt(LR)", ">10%(LR)", "spars Gwt(W)", ">10%(W)")
 	for _, p := range rows {
-		fmt.Printf("%-18s %12.1f %11.2f%% %14.1f %13.2f%%\n",
+		fmt.Fprintf(w, "%-18s %12.1f %11.2f%% %14.1f %13.2f%%\n",
 			p.lr.Example, p.lr.SparsityGwt, 100*p.lr.FracAbove10Thr,
 			p.wv.SparsityGwt, 100*p.wv.FracAbove10Thr)
 	}
-	fmt.Println()
-	return nil
+	fmt.Fprintln(w)
 }
 
 func table43(includeEx5 bool) error {

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"subcouple/internal/core"
+	"subcouple/internal/experiments"
+	"subcouple/internal/geom"
+	"subcouple/internal/golden"
+)
+
+// goldenCases are small fixed layouts driven by the synthetic dense G, so
+// the regression run takes seconds instead of the thesis-size hours.
+func goldenCases() []experiments.Case {
+	raws := []struct {
+		name string
+		raw  *geom.Layout
+	}{
+		{"regular", geom.RegularGrid(64, 64, 16, 16, 2)},
+		{"alternating", geom.AlternatingGrid(64, 64, 16, 16, 1, 3)},
+		{"irregular", geom.IrregularSameSize(64, 64, 16, 16, 2, 0.6, 7)},
+	}
+	cases := make([]experiments.Case, len(raws))
+	for i, r := range raws {
+		layout, maxLevel := core.Prepare(r.raw, 4)
+		cases[i] = experiments.Case{Name: r.name, Layout: layout, MaxLevel: maxLevel}
+	}
+	return cases
+}
+
+// TestTable31Golden pins the Table 3.1 report — layout, headers, and the
+// wavelet sparsity/accuracy values — on small synthetic-G cases.
+func TestTable31Golden(t *testing.T) {
+	var rows []experiments.SparsifyStats
+	for _, c := range goldenCases() {
+		st, err := experiments.RunSparsify(c, experiments.SyntheticG(c.Layout), core.Wavelet, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		rows = append(rows, st)
+	}
+	var buf bytes.Buffer
+	printTable31(&buf, rows)
+	golden.Check(t, "testdata/table31.golden", buf.String(), 0.05)
+}
+
+// TestTables41And42Golden pins the Table 4.1/4.2 report comparing both
+// sparsification methods on the same cases.
+func TestTables41And42Golden(t *testing.T) {
+	var rows []methodPair
+	for _, c := range goldenCases() {
+		g := experiments.SyntheticG(c.Layout)
+		lr, err := experiments.RunSparsify(c, g, core.LowRank, 0)
+		if err != nil {
+			t.Fatalf("%s lowrank: %v", c.Name, err)
+		}
+		wv, err := experiments.RunSparsify(c, g, core.Wavelet, 0)
+		if err != nil {
+			t.Fatalf("%s wavelet: %v", c.Name, err)
+		}
+		rows = append(rows, methodPair{lr, wv})
+	}
+	var buf bytes.Buffer
+	printTables41and42(&buf, rows)
+	golden.Check(t, "testdata/tables41and42.golden", buf.String(), 0.05)
+}

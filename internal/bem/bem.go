@@ -14,10 +14,12 @@ package bem
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"subcouple/internal/dct"
 	"subcouple/internal/geom"
 	"subcouple/internal/la"
+	"subcouple/internal/par"
 	"subcouple/internal/solver"
 	"subcouple/internal/substrate"
 )
@@ -32,14 +34,17 @@ type Solver struct {
 	np     int
 	Tol    float64
 	MaxIts int
+	// Workers sizes the goroutine pool SolveBatch fans right-hand sides
+	// across (<= 0 selects runtime.NumCPU()).
+	Workers int
 
 	// §2.3.1 fast-solver preconditioner state (a reproduced negative
 	// result; see precond.go).
 	usePrecond bool
 	invLam     []float64
 
-	solves     int
-	totalIters int
+	solves     atomic.Int64
+	totalIters atomic.Int64
 }
 
 // New builds a solver for the layout on the profile with an np-by-np panel
@@ -130,14 +135,34 @@ func (s *Solver) Solve(v []float64) ([]float64, error) {
 	} else {
 		iters, err = s.cg(q, b)
 	}
-	s.solves++
-	s.totalIters += iters
+	s.solves.Add(1)
+	s.totalIters.Add(int64(iters))
 	if err != nil {
 		return nil, err
 	}
 	out := make([]float64, n)
 	for i := range s.panels {
 		out[s.owner[i]] += q[i]
+	}
+	return out, nil
+}
+
+// SetWorkers implements solver.WorkerSetter.
+func (s *Solver) SetWorkers(w int) { s.Workers = w }
+
+// SolveBatch implements solver.BatchSolver: independent right-hand sides
+// run as concurrent CG solves on the worker pool. Every solve allocates its
+// own iteration buffers and writes only its output slot, so the batch is
+// bitwise-identical to sequential Solve calls.
+func (s *Solver) SolveBatch(vs [][]float64) ([][]float64, error) {
+	out := make([][]float64, len(vs))
+	err := par.DoErr(s.Workers, len(vs), func(i int) error {
+		r, err := s.Solve(vs[i])
+		out[i] = r
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -189,14 +214,19 @@ func errNoConverge(its int, rel float64) error {
 
 // AvgIterations implements solver.IterationReporter.
 func (s *Solver) AvgIterations() float64 {
-	if s.solves == 0 {
+	n := s.solves.Load()
+	if n == 0 {
 		return 0
 	}
-	return float64(s.totalIters) / float64(s.solves)
+	return float64(s.totalIters.Load()) / float64(n)
 }
 
 // ResetStats zeroes the iteration statistics.
-func (s *Solver) ResetStats() { s.solves, s.totalIters = 0, 0 }
+func (s *Solver) ResetStats() {
+	s.solves.Store(0)
+	s.totalIters.Store(0)
+}
 
 var _ solver.Solver = (*Solver)(nil)
+var _ solver.BatchSolver = (*Solver)(nil)
 var _ solver.IterationReporter = (*Solver)(nil)

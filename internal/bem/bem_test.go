@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"subcouple/internal/geom"
+	"subcouple/internal/metrics"
 	"subcouple/internal/solver"
 	"subcouple/internal/substrate"
 )
@@ -89,34 +90,20 @@ func TestConductanceMatrixProperties(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := extractG(t, s)
-	n := len(g)
-	scale := g[0][0]
-	for i := 0; i < n; i++ {
-		// Symmetry (thesis §2.4).
-		for j := 0; j < n; j++ {
-			if math.Abs(g[i][j]-g[j][i]) > 1e-6*scale {
-				t.Fatalf("G not symmetric at (%d,%d): %g vs %g", i, j, g[i][j], g[j][i])
-			}
+	// Symmetry, positive diagonal, non-positive off-diagonals, column sums
+	// (thesis §2.4), plus strict dominance from the grounded backplane.
+	cols := func(j int) []float64 {
+		c := make([]float64, len(g))
+		for i := range g {
+			c[i] = g[i][j]
 		}
-		// Positive diagonal, negative off-diagonals.
-		if g[i][i] <= 0 {
-			t.Fatalf("G[%d][%d] = %g not positive", i, i, g[i][i])
-		}
-		for j := 0; j < n; j++ {
-			if i != j && g[i][j] >= 0 {
-				t.Fatalf("off-diagonal G[%d][%d] = %g not negative", i, j, g[i][j])
-			}
-		}
-		// Strict diagonal dominance with a grounded backplane.
-		var off float64
-		for j := 0; j < n; j++ {
-			if j != i {
-				off += math.Abs(g[i][j])
-			}
-		}
-		if g[i][i] <= off {
-			t.Fatalf("row %d not strictly diagonally dominant: %g vs %g", i, g[i][i], off)
-		}
+		return c
+	}
+	if err := metrics.CheckConductance(len(g), cols, false, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.CheckStrictDominance(len(g), cols); err != nil {
+		t.Fatal(err)
 	}
 }
 

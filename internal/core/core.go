@@ -62,6 +62,10 @@ type Options struct {
 	// CombineSolves enables solve combining in the wavelet method (the
 	// low-rank method reads its own flag from LowRank). Default true.
 	DisableCombineSolves bool
+	// Workers sizes the worker pool used for independent black-box solves
+	// and per-square basis work; <= 0 selects runtime.NumCPU() and 1 runs
+	// fully serial. Extraction results are bitwise-identical for any value.
+	Workers int
 }
 
 // Prepare splits a layout at the finest-square boundaries of an
@@ -107,7 +111,11 @@ func Extract(s solver.Solver, layout *geom.Layout, opt Options) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
-	counting := solver.NewCounting(s)
+	// The solver chain is Counting(Parallel(s)): the algorithms issue
+	// batches through the counter (so a k-vector batch counts as k solves)
+	// and the Parallel adapter fans them across the worker pool — unless s
+	// natively batches, in which case its own implementation is preferred.
+	counting := solver.NewCounting(solver.Parallel(s, opt.Workers))
 	res := &Result{Method: opt.Method, Layout: layout, Tree: tree}
 
 	switch opt.Method {
@@ -116,7 +124,7 @@ func Extract(s solver.Solver, layout *geom.Layout, opt Options) (*Result, error)
 		if p == 0 {
 			p = 2
 		}
-		b, err := wavelet.NewBasis(layout, tree, p)
+		b, err := wavelet.NewBasisWorkers(layout, tree, p, opt.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -133,6 +141,9 @@ func Extract(s solver.Solver, layout *geom.Layout, opt Options) (*Result, error)
 		lopt := opt.LowRank
 		if lopt.MaxRank == 0 && lopt.RankTol == 0 {
 			lopt = lowrank.DefaultOptions()
+		}
+		if lopt.Workers == 0 {
+			lopt.Workers = opt.Workers
 		}
 		rep, err := lowrank.Build(layout, tree, counting, lopt)
 		if err != nil {

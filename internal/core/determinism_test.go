@@ -1,0 +1,126 @@
+package core_test
+
+import (
+	"runtime"
+	"testing"
+
+	"subcouple/internal/bem"
+	"subcouple/internal/core"
+	"subcouple/internal/experiments"
+	"subcouple/internal/geom"
+	"subcouple/internal/metrics"
+	"subcouple/internal/solver"
+	"subcouple/internal/sparse"
+	"subcouple/internal/substrate"
+)
+
+// sameMatrix reports whether two CSR matrices are bitwise identical.
+func sameMatrix(t *testing.T, what string, a, b *sparse.Matrix) {
+	t.Helper()
+	if (a == nil) != (b == nil) {
+		t.Fatalf("%s: one matrix nil, the other not", what)
+	}
+	if a == nil {
+		return
+	}
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		t.Fatalf("%s: shape %dx%d vs %dx%d", what, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if len(a.Val) != len(b.Val) {
+		t.Fatalf("%s: nnz %d vs %d", what, len(a.Val), len(b.Val))
+	}
+	for i := range a.RowPtr {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			t.Fatalf("%s: RowPtr[%d] %d vs %d", what, i, a.RowPtr[i], b.RowPtr[i])
+		}
+	}
+	for k := range a.Val {
+		if a.ColIdx[k] != b.ColIdx[k] {
+			t.Fatalf("%s: ColIdx[%d] %d vs %d", what, k, a.ColIdx[k], b.ColIdx[k])
+		}
+		if a.Val[k] != b.Val[k] {
+			t.Fatalf("%s: Val[%d] %v vs %v (not bitwise identical)", what, k, a.Val[k], b.Val[k])
+		}
+	}
+}
+
+// TestExtractionDeterministicAcrossWorkers is the parallel engine's core
+// guarantee: for any worker count the extracted representation — Q, Gw,
+// Gwt, the solve count, and Apply outputs — is bitwise identical to the
+// fully serial run.
+func TestExtractionDeterministicAcrossWorkers(t *testing.T) {
+	layouts := []struct {
+		name string
+		raw  *geom.Layout
+	}{
+		{"regular", geom.RegularGrid(64, 64, 8, 8, 4)},
+		{"alternating", geom.AlternatingGrid(64, 64, 8, 8, 1, 7)},
+	}
+	workerCounts := []int{1, 2, runtime.NumCPU()}
+	for _, lc := range layouts {
+		layout, maxLevel := core.Prepare(lc.raw, 4)
+		g := experiments.SyntheticG(layout)
+		probe := make([]float64, layout.N())
+		for i := range probe {
+			probe[i] = float64(i%7) - 3
+		}
+		for _, method := range []core.Method{core.Wavelet, core.LowRank} {
+			var ref *core.Result
+			var refApply []float64
+			for _, w := range workerCounts {
+				res, err := core.Extract(solver.NewDense(g), layout, core.Options{
+					Method: method, MaxLevel: maxLevel, ThresholdFactor: 6, Workers: w,
+				})
+				if err != nil {
+					t.Fatalf("%s/%v workers=%d: %v", lc.name, method, w, err)
+				}
+				app := res.Apply(probe)
+				if ref == nil {
+					ref, refApply = res, app
+					continue
+				}
+				what := lc.name + "/" + method.String()
+				if res.Solves != ref.Solves {
+					t.Errorf("%s workers=%d: %d solves vs %d serial", what, w, res.Solves, ref.Solves)
+				}
+				sameMatrix(t, what+" Gw", ref.Gw, res.Gw)
+				sameMatrix(t, what+" Gwt", ref.Gwt, res.Gwt)
+				sameMatrix(t, what+" Q", ref.Q(), res.Q())
+				for i := range app {
+					if app[i] != refApply[i] {
+						t.Fatalf("%s workers=%d: Apply[%d] = %v vs %v", what, w, i, app[i], refApply[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestApplyReconstructionProperties checks that the sparsified operator
+// Q·Gw·Qᵀ built from a real (eigenfunction) solver still behaves like a
+// conductance matrix: symmetric, positive diagonal, non-positive
+// off-diagonals, non-negative column sums — within the method's
+// approximation error.
+func TestApplyReconstructionProperties(t *testing.T) {
+	prof := substrate.Uniform(16, 8, 1, true)
+	raw := geom.RegularGrid(16, 16, 4, 4, 2)
+	layout, maxLevel := core.Prepare(raw, 4)
+	s, err := bem.New(prof, layout, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, method := range []core.Method{core.Wavelet, core.LowRank} {
+		res, err := core.Extract(s, layout, core.Options{
+			Method: method, MaxLevel: maxLevel, ThresholdFactor: 6,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		if err := metrics.CheckConductance(res.N(), res.Column, false, 0.02); err != nil {
+			t.Errorf("%v reconstruction: %v", method, err)
+		}
+		if err := metrics.CheckConductance(res.N(), res.ColumnThresholded, false, 0.1); err != nil {
+			t.Errorf("%v thresholded reconstruction: %v", method, err)
+		}
+	}
+}

@@ -19,6 +19,12 @@ import (
 	"subcouple/internal/substrate"
 )
 
+// Workers sizes the worker pool used by every extraction and naive solve
+// the runners issue; <= 0 selects runtime.NumCPU() and 1 runs fully
+// serial. cmd/tables and the benchmark ablations set it from their
+// -workers flag. Results are bitwise-identical for any value.
+var Workers int
+
 // Case is one thesis example: a layout on the standard substrate.
 type Case struct {
 	Name     string
@@ -100,6 +106,7 @@ func BemSolver(c Case) (*bem.Solver, error) {
 		return nil, err
 	}
 	s.Tol = 1e-6
+	s.Workers = Workers
 	return s, nil
 }
 
@@ -174,6 +181,7 @@ func runSparsifySampled(c Case, s solver.Solver, exact *la.Dense, cols []int, me
 	start := time.Now()
 	res, err := core.Extract(s, c.Layout, core.Options{
 		Method: method, MaxLevel: c.MaxLevel, ThresholdFactor: 6, LowRank: lopt,
+		Workers: Workers,
 	})
 	if err != nil {
 		return SparsifyStats{}, fmt.Errorf("extract %s/%v: %w", c.Name, method, err)
@@ -246,7 +254,9 @@ func Table21(scale Scale) ([]PrecondStats, error) {
 		if err != nil {
 			return nil, err
 		}
-		if _, err := core.Extract(s, layout, core.Options{Method: core.Wavelet, MaxLevel: maxLevel}); err != nil {
+		if _, err := core.Extract(s, layout, core.Options{
+			Method: core.Wavelet, MaxLevel: maxLevel, Workers: Workers,
+		}); err != nil {
 			return nil, err
 		}
 		out = append(out, PrecondStats{cfg.name, s.AvgIterations()})

@@ -18,9 +18,12 @@ package fd
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"subcouple/internal/geom"
 	"subcouple/internal/la"
+	"subcouple/internal/par"
 	"subcouple/internal/solver"
 	"subcouple/internal/substrate"
 )
@@ -68,6 +71,10 @@ type Options struct {
 	AreaWeighted bool
 	Tol          float64 // relative residual tolerance (default 1e-8)
 	MaxIts       int     // default 10000
+	// Workers sizes the goroutine pool SolveBatch fans right-hand sides
+	// across (<= 0 selects runtime.NumCPU()). Each PCG run is independent,
+	// so results are identical for any value.
+	Workers int
 }
 
 // Solver is a finite-difference black-box substrate solver.
@@ -98,8 +105,13 @@ type Solver struct {
 	// multigrid preconditioner hierarchy (lazily built).
 	mg *multigrid
 
-	solves     int
-	totalIters int
+	// initOnce guards the lazy preconditioner builds so concurrent Solve
+	// calls from SolveBatch share one construction.
+	initOnce sync.Once
+	initErr  error
+
+	solves     atomic.Int64
+	totalIters atomic.Int64
 }
 
 // New builds a finite-difference solver. The lateral dimensions and depth of
@@ -342,20 +354,63 @@ func (s *Solver) rhs(v []float64) []float64 {
 	return b
 }
 
+// ensurePrecond builds the configured preconditioner exactly once, before
+// any PCG iteration reads it — required for SolveBatch, whose concurrent
+// Solve calls would otherwise race on the lazy builds.
+func (s *Solver) ensurePrecond() error {
+	s.initOnce.Do(func() {
+		switch s.Opt.Precond {
+		case PrecondIC0:
+			s.buildIC0()
+		case PrecondFastPoisson:
+			s.buildFastPoisson()
+		case PrecondMultigrid:
+			s.initErr = s.buildMultigrid()
+		}
+	})
+	return s.initErr
+}
+
 // Solve implements solver.Solver.
 func (s *Solver) Solve(v []float64) ([]float64, error) {
 	if len(v) != s.N() {
 		return nil, fmt.Errorf("fd: voltage vector length %d, want %d", len(v), s.N())
 	}
+	if err := s.ensurePrecond(); err != nil {
+		return nil, err
+	}
 	b := s.rhs(v)
 	x := make([]float64, s.NumNodes())
 	iters, err := s.pcg(x, b)
-	s.solves++
-	s.totalIters += iters
+	s.solves.Add(1)
+	s.totalIters.Add(int64(iters))
 	if err != nil {
 		return nil, err
 	}
 	return s.contactCurrents(v, x), nil
+}
+
+// SetWorkers implements solver.WorkerSetter.
+func (s *Solver) SetWorkers(w int) { s.Opt.Workers = w }
+
+// SolveBatch implements solver.BatchSolver: independent right-hand sides
+// run as concurrent PCG solves on the worker pool. Each solve is a fully
+// independent iteration writing its own output slot, so the batch is
+// bitwise-identical to sequential Solve calls.
+func (s *Solver) SolveBatch(vs [][]float64) ([][]float64, error) {
+	if err := s.ensurePrecond(); err != nil {
+		return nil, err
+	}
+	out := make([][]float64, len(vs))
+	err := par.DoErr(s.Opt.Workers, len(vs), func(i int) error {
+		r, err := s.Solve(vs[i])
+		out[i] = r
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // contactCurrents assembles per-contact currents from the node potentials.
@@ -407,16 +462,21 @@ func (s *Solver) contactCurrents(v, x []float64) []float64 {
 
 // AvgIterations implements solver.IterationReporter.
 func (s *Solver) AvgIterations() float64 {
-	if s.solves == 0 {
+	n := s.solves.Load()
+	if n == 0 {
 		return 0
 	}
-	return float64(s.totalIters) / float64(s.solves)
+	return float64(s.totalIters.Load()) / float64(n)
 }
 
 // ResetStats zeroes the iteration statistics.
-func (s *Solver) ResetStats() { s.solves, s.totalIters = 0, 0 }
+func (s *Solver) ResetStats() {
+	s.solves.Store(0)
+	s.totalIters.Store(0)
+}
 
 var _ solver.Solver = (*Solver)(nil)
+var _ solver.BatchSolver = (*Solver)(nil)
 var _ solver.IterationReporter = (*Solver)(nil)
 
 // pcg runs preconditioned conjugate gradients, returning iteration count.

@@ -6,9 +6,21 @@ import (
 
 	"subcouple/internal/bem"
 	"subcouple/internal/geom"
+	"subcouple/internal/metrics"
 	"subcouple/internal/solver"
 	"subcouple/internal/substrate"
 )
+
+// columnsOf adapts the row-major extractG result to a metrics.ColumnFunc.
+func columnsOf(g [][]float64) metrics.ColumnFunc {
+	return func(j int) []float64 {
+		c := make([]float64, len(g))
+		for i := range g {
+			c[i] = g[i][j]
+		}
+		return c
+	}
+}
 
 func smallSetup() (*substrate.Profile, *geom.Layout) {
 	prof := substrate.Uniform(16, 8, 1, true)
@@ -65,20 +77,8 @@ func TestSymmetryBothPlacements(t *testing.T) {
 	for _, pl := range []Placement{Outside, Inside} {
 		s := mustNew(t, prof, layout, Options{H: 1, Placement: pl, Precond: PrecondIC0})
 		g := extractG(t, s)
-		n := len(g)
-		scale := g[0][0]
-		for i := 0; i < n; i++ {
-			if g[i][i] <= 0 {
-				t.Fatalf("placement %d: diag %d not positive", pl, i)
-			}
-			for j := i + 1; j < n; j++ {
-				if math.Abs(g[i][j]-g[j][i]) > 1e-5*scale {
-					t.Fatalf("placement %d: G not symmetric at (%d,%d): %g vs %g", pl, i, j, g[i][j], g[j][i])
-				}
-				if g[i][j] >= 0 {
-					t.Fatalf("placement %d: off-diagonal (%d,%d) = %g not negative", pl, i, j, g[i][j])
-				}
-			}
+		if err := metrics.CheckConductance(len(g), columnsOf(g), false, 1e-5); err != nil {
+			t.Fatalf("placement %d: %v", pl, err)
 		}
 	}
 }
@@ -89,15 +89,8 @@ func TestFloatingBackplaneRowSumsZero(t *testing.T) {
 	layout := geom.RegularGrid(16, 16, 4, 4, 2)
 	s := mustNew(t, prof, layout, Options{H: 1, Placement: Inside, Precond: PrecondIC0, Tol: 1e-10})
 	g := extractG(t, s)
-	scale := g[0][0]
-	for j := range g {
-		var sum float64
-		for i := range g {
-			sum += g[i][j]
-		}
-		if math.Abs(sum) > 1e-6*scale {
-			t.Fatalf("column %d sums to %g, want ~0 (floating backplane)", j, sum)
-		}
+	if err := metrics.CheckConductance(len(g), columnsOf(g), true, 1e-6); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -105,16 +98,8 @@ func TestGroundedStrictDominance(t *testing.T) {
 	prof, layout := smallSetup()
 	s := mustNew(t, prof, layout, Options{H: 1, Placement: Inside, Precond: PrecondIC0})
 	g := extractG(t, s)
-	for i := range g {
-		var off float64
-		for j := range g {
-			if j != i {
-				off += math.Abs(g[i][j])
-			}
-		}
-		if g[i][i] <= off {
-			t.Fatalf("row %d not strictly dominant: %g vs %g", i, g[i][i], off)
-		}
+	if err := metrics.CheckStrictDominance(len(g), columnsOf(g)); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,103 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// fuzzGrid is the integer surface side used by the fuzz layouts; small
+// enough that random rectangles collide and split often.
+const fuzzGrid = 16
+
+// layoutFromBytes decodes up to 12 integer-aligned rectangles from raw
+// fuzz data (4 bytes each) into a layout on a fuzzGrid×fuzzGrid surface.
+// Overlapping rectangles are allowed — the invariants under test must hold
+// (or the API must reject the layout cleanly) for any geometry.
+func layoutFromBytes(data []byte) *Layout {
+	l := &Layout{A: fuzzGrid, B: fuzzGrid}
+	for k := 0; k+4 <= len(data) && len(l.Contacts) < 12; k += 4 {
+		x0 := float64(int(data[k]) % fuzzGrid)
+		y0 := float64(int(data[k+1]) % fuzzGrid)
+		w := float64(1 + int(data[k+2])%(fuzzGrid-int(x0)))
+		h := float64(1 + int(data[k+3])%(fuzzGrid-int(y0)))
+		l.addRect(Rect{X0: x0, Y0: y0, X1: x0 + w, Y1: y0 + h})
+	}
+	return l
+}
+
+// FuzzSplitToGrid checks that splitting never panics, conserves contact
+// area per group, keeps every piece inside one grid cell, and preserves
+// layout validity.
+func FuzzSplitToGrid(f *testing.F) {
+	f.Add([]byte{0, 0, 15, 15, 3, 3, 4, 4}, 2)
+	f.Add([]byte{1, 1, 6, 6, 8, 8, 7, 7, 0, 8, 8, 4}, 1)
+	f.Add([]byte{5, 0, 10, 2}, 3)
+	f.Fuzz(func(t *testing.T, data []byte, cellSel int) {
+		l := layoutFromBytes(data)
+		cells := []float64{1, 2, 4, 8}
+		cell := cells[((cellSel%len(cells))+len(cells))%len(cells)]
+		split := l.SplitToGrid(cell)
+
+		areaByGroup := map[int]float64{}
+		for _, c := range split.Contacts {
+			areaByGroup[c.Group] += c.Area()
+			// Each piece must lie within one cell-by-cell square.
+			if math.Floor(c.X0/cell)*cell+cell < c.X1-1e-9 ||
+				math.Floor(c.Y0/cell)*cell+cell < c.Y1-1e-9 {
+				t.Fatalf("piece %+v crosses a %g-cell boundary", c.Rect, cell)
+			}
+		}
+		for _, c := range l.Contacts {
+			areaByGroup[c.Group] -= c.Area()
+		}
+		for g, d := range areaByGroup {
+			if math.Abs(d) > 1e-9 {
+				t.Fatalf("group %d area changed by %g after splitting", g, d)
+			}
+		}
+		if l.Validate() == nil {
+			if err := split.Validate(); err != nil {
+				t.Fatalf("valid layout became invalid after splitting: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzPanelize checks that panelization never panics and, when it
+// succeeds on a valid layout, assigns panels consistently: every contact's
+// panels cover exactly its area and each panel has at most one owner that
+// agrees with the reverse map.
+func FuzzPanelize(f *testing.F) {
+	f.Add([]byte{0, 0, 15, 15, 3, 3, 4, 4}, 16)
+	f.Add([]byte{2, 2, 2, 2, 8, 8, 4, 4}, 32)
+	f.Add([]byte{0, 0, 1, 1}, 8)
+	f.Fuzz(func(t *testing.T, data []byte, npSel int) {
+		l := layoutFromBytes(data)
+		nps := []int{8, 16, 32}
+		np := nps[((npSel%len(nps))+len(nps))%len(nps)]
+		p, err := Panelize(l, np)
+		if err != nil || l.Validate() != nil {
+			return
+		}
+		owners := make([]int, np*np)
+		for i := range owners {
+			owners[i] = -1
+		}
+		for ci, panels := range p.ContactPanels {
+			if got, want := float64(len(panels))*p.PanelW*p.PanelH, l.Contacts[ci].Area(); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("contact %d: panel area %g, contact area %g", ci, got, want)
+			}
+			for _, pi := range panels {
+				if owners[pi] != -1 {
+					t.Fatalf("panel %d claimed by contacts %d and %d", pi, owners[pi], ci)
+				}
+				owners[pi] = ci
+			}
+		}
+		for pi, ci := range p.PanelContact {
+			if ci != owners[pi] {
+				t.Fatalf("PanelContact[%d] = %d, want %d", pi, ci, owners[pi])
+			}
+		}
+	})
+}

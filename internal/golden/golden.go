@@ -1,0 +1,117 @@
+// Package golden compares generated report text against committed golden
+// files. Numeric tokens are compared with a tolerance so the regression
+// tests pin the report structure and values without being brittle to
+// harmless floating-point drift across platforms or compiler versions.
+// Run the owning test with -update to rewrite the golden files from
+// current output.
+package golden
+
+import (
+	"flag"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// Check compares got against the golden file at path, line by line and
+// token by token. Tokens that parse as numbers on both sides (a leading
+// sign and a trailing %% or x are allowed) must agree within tol, relative
+// to the golden value with the same absolute floor; all other tokens must
+// match exactly.
+func Check(t *testing.T, path, got string, tol float64) {
+	t.Helper()
+	want, ok := load(t, path, got)
+	if !ok {
+		return
+	}
+	gotLines := strings.Split(got, "\n")
+	wantLines := strings.Split(want, "\n")
+	if len(gotLines) != len(wantLines) {
+		t.Fatalf("%s: %d lines, golden has %d\ngot:\n%s", path, len(gotLines), len(wantLines), got)
+	}
+	for ln := range wantLines {
+		gf := strings.Fields(gotLines[ln])
+		wf := strings.Fields(wantLines[ln])
+		if len(gf) != len(wf) {
+			t.Fatalf("%s line %d: %q vs golden %q", path, ln+1, gotLines[ln], wantLines[ln])
+		}
+		for i := range wf {
+			gv, gok := parseNum(gf[i])
+			wv, wok := parseNum(wf[i])
+			if gok && wok {
+				if math.Abs(gv-wv) > tol*math.Max(1, math.Abs(wv)) {
+					t.Errorf("%s line %d: %s vs golden %s (tol %g)", path, ln+1, gf[i], wf[i], tol)
+				}
+			} else if gf[i] != wf[i] {
+				t.Errorf("%s line %d: token %q vs golden %q", path, ln+1, gf[i], wf[i])
+			}
+		}
+	}
+}
+
+// CheckArt compares ASCII-art output (spy plots) against the golden file,
+// allowing at most maxFracDiff of the characters to differ — a handful of
+// cells near a threshold may flip with floating-point drift without the
+// plot being wrong.
+func CheckArt(t *testing.T, path, got string, maxFracDiff float64) {
+	t.Helper()
+	want, ok := load(t, path, got)
+	if !ok {
+		return
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s: output length %d, golden %d\ngot:\n%s", path, len(got), len(want), got)
+	}
+	diff := 0
+	for i := range want {
+		if got[i] != want[i] {
+			diff++
+		}
+	}
+	if frac := float64(diff) / float64(max(1, len(want))); frac > maxFracDiff {
+		t.Errorf("%s: %d/%d characters differ (%.2f%% > %.2f%% allowed)\ngot:\n%s",
+			path, diff, len(want), 100*frac, 100*maxFracDiff, got)
+	}
+}
+
+// load reads the golden file, or rewrites it and reports done when -update
+// is set.
+func load(t *testing.T, path, got string) (string, bool) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return "", false
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	return string(want), true
+}
+
+func dir(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[:i]
+	}
+	return "."
+}
+
+// parseNum parses a numeric token, tolerating a trailing % or x unit.
+func parseNum(tok string) (float64, bool) {
+	tok = strings.TrimSuffix(strings.TrimSuffix(tok, "%"), "x")
+	if tok == "" {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(tok, 64)
+	return v, err == nil
+}

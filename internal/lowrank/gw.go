@@ -3,6 +3,7 @@ package lowrank
 import (
 	"sort"
 
+	"subcouple/internal/par"
 	"subcouple/internal/quadtree"
 	"subcouple/internal/sparse"
 )
@@ -37,34 +38,54 @@ func (tr *Transformed) assembleGw(level2 map[int]*sweepSquare) {
 	r := tr.Rep
 	n := r.Layout.N()
 	em := newEntryMap(n)
+	// Per-square entry lists are computed on the worker pool and merged
+	// into the entry map serially in square order, so the set-semantics
+	// overwrites resolve the same way for any worker count.
+	type gwEntry struct {
+		i, j int
+		v    float64
+	}
 
 	// T blocks: for each square s at each level, the D_s matrix provides
 	// responses at local contacts; dot with the T columns of s's local
 	// squares and all of their descendants.
 	for lev := 2; lev <= r.Tree.MaxLevel; lev++ {
 		states := tr.sweepStates[lev]
-		for _, sq := range r.Tree.SquaresAt(lev) {
+		squares := r.Tree.SquaresAt(lev)
+		lists := make([][]gwEntry, len(squares))
+		par.Do(r.Opt.Workers, len(squares), func(si int) {
+			sq := squares[si]
 			ss := states[sq.ID]
 			if ss == nil || ss.T.Cols == 0 {
-				continue
+				return
 			}
 			targets := tr.targetColumns(sq, lev)
+			list := make([]gwEntry, 0, ss.T.Cols*len(targets))
 			for m := 0; m < ss.T.Cols; m++ {
 				cj := tr.tCols[lev][sq.ID][m]
 				dcol := ss.D.Col(m) // T columns come first in D
 				for _, ti := range targets {
-					em.put(ti, cj, tr.dotAgainstLocal(ti, dcol, ss.lIndex))
+					list = append(list, gwEntry{ti, cj, tr.dotAgainstLocal(ti, dcol, ss.lIndex)})
 				}
+			}
+			lists[si] = list
+		})
+		for _, list := range lists {
+			for _, e := range list {
+				em.put(e.i, e.j, e.v)
 			}
 		}
 	}
 
 	// Level-2 U columns interact with everything: full responses are
 	// available because P_s covers the whole surface at level 2.
-	for _, sq := range r.Tree.SquaresAt(2) {
+	l2squares := r.Tree.SquaresAt(2)
+	ulists := make([][]gwEntry, len(l2squares))
+	par.Do(r.Opt.Workers, len(l2squares), func(si int) {
+		sq := l2squares[si]
 		ss := level2[sq.ID]
 		if ss == nil {
-			continue
+			return
 		}
 		base := 0
 		for _, ui := range tr.uCols {
@@ -73,6 +94,7 @@ func (tr *Transformed) assembleGw(level2 map[int]*sweepSquare) {
 				break
 			}
 		}
+		var list []gwEntry
 		for m := 0; m < ss.U.Cols; m++ {
 			full := make([]float64, n)
 			// Local part from D (U columns follow the T block).
@@ -93,8 +115,14 @@ func (tr *Transformed) assembleGw(level2 map[int]*sweepSquare) {
 			}
 			cj := base + m
 			for ci := range tr.Cols {
-				em.put(ci, cj, tr.colDot(ci, full))
+				list = append(list, gwEntry{ci, cj, tr.colDot(ci, full)})
 			}
+		}
+		ulists[si] = list
+	})
+	for _, list := range ulists {
+		for _, e := range list {
+			em.put(e.i, e.j, e.v)
 		}
 	}
 	tr.Gw = em.matrix()

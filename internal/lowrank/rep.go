@@ -21,9 +21,11 @@ package lowrank
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"subcouple/internal/geom"
 	"subcouple/internal/la"
+	"subcouple/internal/par"
 	"subcouple/internal/quadtree"
 	"subcouple/internal/solver"
 )
@@ -42,13 +44,33 @@ type Options struct {
 	// thesis reports "a dramatic improvement in accuracy at a constant
 	// factor (<2) increase" from it.
 	Refine bool
-	// Seed drives the random sample vectors.
+	// Seed drives the random sample vectors. Each square draws from its own
+	// stream derived from (Seed, level, square id), so samples do not depend
+	// on the order squares are visited in.
 	Seed int64
+	// Workers sizes the worker pool for per-square CPU work (SVDs, response
+	// separation) and is passed down with batched black-box solves;
+	// <= 0 selects runtime.NumCPU(). Results are identical for any value.
+	Workers int
 }
 
 // DefaultOptions returns the thesis's settings.
 func DefaultOptions() Options {
 	return Options{MaxRank: 6, RankTol: 0.01, CombineSolves: true, Refine: true, Seed: 1}
+}
+
+// squareRNG returns the dedicated sample stream of one square: a splitmix64
+// mix of the global seed with the square's (level, id) coordinates. Streams
+// are decoupled from visiting order, which is what lets sample generation
+// run per-square on a worker pool without changing a single bit of output.
+func squareRNG(seed int64, level, id int) *rand.Rand {
+	z := uint64(seed) ^ 0x9e3779b97f4a7c15*uint64(level+1) ^ 0xbf58476d1ce4e5b9*uint64(id+1)
+	// splitmix64 finalizer
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return rand.New(rand.NewSource(int64(z)))
 }
 
 // squareData holds the per-square pieces of the row-basis representation.
@@ -166,16 +188,16 @@ func Build(layout *geom.Layout, tree *quadtree.Tree, s solver.Solver, opt Option
 			r.data[lev][sq.ID] = sd
 		}
 	}
-	rng := rand.New(rand.NewSource(opt.Seed))
-
 	for lev := 2; lev <= L; lev++ {
-		// 1. Random sample vector per square (thesis: MATLAB randn).
+		// 1. Random sample vector per square (thesis: MATLAB randn), drawn
+		// from the square's own seeded stream.
 		samples := map[int]*pending{} // squareID → sample
 		for _, sq := range tree.SquaresAt(lev) {
 			sd := r.at(lev, sq.ID)
 			if sd == nil {
 				continue
 			}
+			rng := squareRNG(opt.Seed, lev, sq.ID)
 			v := make([]float64, len(sq.Contacts))
 			for i := range v {
 				v[i] = rng.NormFloat64()
@@ -194,10 +216,13 @@ func Build(layout *geom.Layout, tree *quadtree.Tree, s solver.Solver, opt Option
 			return nil, err
 		}
 		// 3. Row basis per square from the SVD of sampled interactions.
-		for _, sq := range tree.SquaresAt(lev) {
+		// The SVDs are independent per square: fan them out.
+		levSquares := tree.SquaresAt(lev)
+		par.Do(opt.Workers, len(levSquares), func(i int) {
+			sq := levSquares[i]
 			sd := r.at(lev, sq.ID)
 			if sd == nil {
-				continue
+				return
 			}
 			ns := len(sq.Contacts)
 			var cols [][]float64
@@ -214,7 +239,7 @@ func Build(layout *geom.Layout, tree *quadtree.Tree, s solver.Solver, opt Option
 				cols = append(cols, col)
 			}
 			sd.V = leftBasis(cols, ns, opt.RankTol, opt.MaxRank)
-		}
+		})
 		// 4. Responses to the row-basis columns, by the same machinery.
 		var vbatch []*pending
 		maxc := 0
@@ -283,51 +308,81 @@ func leftBasis(cols [][]float64, ns int, tol float64, cap int) *la.Dense {
 
 // respond fills out = (G_{Ps,s}·vec)^(r) for every pending vector at the
 // given level, using direct solves on level 2 (or when combine-solves is
-// off) and the splitting method + combine-solves on finer levels.
+// off) and the splitting method + combine-solves on finer levels. All
+// black-box calls go through one SolveBatch, and the per-vector response
+// separation runs on the worker pool; outputs land in per-pending slots so
+// the result is identical for any worker count.
 func (r *Rep) respond(s solver.Solver, lev int, batch []*pending) error {
 	n := r.Layout.N()
 	if lev == 2 || !r.Opt.CombineSolves {
-		for _, p := range batch {
+		thetas := make([][]float64, len(batch))
+		for i, p := range batch {
 			theta := make([]float64, n)
-			for i, c := range p.sd.sq.Contacts {
-				theta[c] = p.vec[i]
+			for j, c := range p.sd.sq.Contacts {
+				theta[c] = p.vec[j]
 			}
-			y, err := s.Solve(theta)
-			if err != nil {
-				return err
-			}
-			p.out = restrict(y, p.sd.pContacts)
+			thetas[i] = theta
+		}
+		ys, err := solver.SolveBatch(s, thetas)
+		if err != nil {
+			return err
+		}
+		for i, p := range batch {
+			p.out = restrict(ys[i], p.sd.pContacts)
 		}
 		return nil
 	}
 	// Group by (parent mod-3 class, child index, per-square sequence
 	// number): members' parents are >= 3 apart, so the o-vectors'
 	// supports and local target regions never collide (§3.5, Fig 3-5).
+	// Groups are visited in sorted key order for reproducibility.
 	type key struct{ a, b, child, seq int }
 	groups := map[key][]*pending{}
 	seq := map[int]int{}
 	for _, p := range batch {
 		sq := p.sd.sq
-		par := r.Tree.Parent(sq)
-		a, b := quadtree.Mod3Class(par)
+		psq := r.Tree.Parent(sq)
+		a, b := quadtree.Mod3Class(psq)
 		child := (sq.I%2)<<1 | sq.J%2
 		k := key{a, b, child, seq[sq.ID]}
 		seq[sq.ID]++
 		groups[k] = append(groups[k], p)
 	}
-	for _, members := range groups {
-		type split struct {
-			p     *pending
-			par   *squareData
-			coef  []float64 // V_pᵀ·v
-			o     []float64 // v − V_p·coef, over parent contacts
-			prows map[int]int
+	keys := make([]key, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(x, y int) bool {
+		a, b := keys[x], keys[y]
+		if a.a != b.a {
+			return a.a < b.a
 		}
+		if a.b != b.b {
+			return a.b < b.b
+		}
+		if a.child != b.child {
+			return a.child < b.child
+		}
+		return a.seq < b.seq
+	})
+
+	type split struct {
+		p    *pending
+		par  *squareData
+		coef []float64 // V_pᵀ·v
+		o    []float64 // v − V_p·coef, over parent contacts
+		y    []float64 // the group's combined response
+	}
+	// Pass 1: split each vector against its parent basis and accumulate the
+	// o-vectors of a group into its theta (disjoint supports within a group).
+	thetas := make([][]float64, 0, len(keys))
+	var splits []*split
+	groupOf := make([]int, 0) // split index → theta index
+	for gi, k := range keys {
 		theta := make([]float64, n)
-		var splits []split
-		for _, p := range members {
+		for _, p := range groups[k] {
 			parSq := r.Tree.Parent(p.sd.sq)
-			par := r.at(lev-1, parSq.ID)
+			psd := r.at(lev-1, parSq.ID)
 			// Zero-pad into the parent's contact ordering.
 			v := make([]float64, len(parSq.Contacts))
 			prows := make(map[int]int, len(parSq.Contacts))
@@ -337,50 +392,58 @@ func (r *Rep) respond(s solver.Solver, lev int, batch []*pending) error {
 			for i, c := range p.sd.sq.Contacts {
 				v[prows[c]] = p.vec[i]
 			}
-			coef := par.V.MulVecT(v)
+			coef := psd.V.MulVecT(v)
 			o := v
-			back := par.V.MulVec(coef)
+			back := psd.V.MulVec(coef)
 			la.Axpy(-1, back, o)
 			for i, c := range parSq.Contacts {
 				theta[c] += o[i]
 			}
-			splits = append(splits, split{p: p, par: par, coef: coef, o: o, prows: prows})
+			splits = append(splits, &split{p: p, par: psd, coef: coef, o: o})
+			groupOf = append(groupOf, gi)
 		}
-		y, err := s.Solve(theta)
-		if err != nil {
-			return err
-		}
-		for _, sp := range splits {
-			p := sp.p
-			out := make([]float64, len(p.sd.pContacts))
-			// Coarse part: R_p·coef restricted to P_s (= contacts of L_p).
-			coarse := sp.par.R.MulVec(sp.coef)
-			for i, c := range p.sd.pContacts {
-				out[i] = coarse[sp.par.pIndex[c]]
-			}
-			// Fine part: refined G_{q,p}·o for every parent-level local q.
-			for _, qsq := range r.Tree.Local(sp.par.sq) {
-				q := r.at(lev-1, qsq.ID)
-				if q == nil {
-					continue
-				}
-				raw := restrict(y, qsq.Contacts)
-				t := raw
-				if r.Opt.Refine {
-					// (4.24): V_q((G_pq V_q)ᵀo) + raw − V_q(V_qᵀ raw).
-					alpha := q.rowsFor(sp.par.sq.Contacts).MulVecT(sp.o)
-					beta := q.V.MulVecT(raw)
-					la.Axpy(-1, beta, alpha)
-					corr := q.V.MulVec(alpha)
-					la.Axpy(1, corr, t)
-				}
-				for i, c := range qsq.Contacts {
-					out[p.sd.pIndex[c]] += t[i]
-				}
-			}
-			p.out = out
-		}
+		thetas = append(thetas, theta)
 	}
+	ys, err := solver.SolveBatch(s, thetas)
+	if err != nil {
+		return err
+	}
+	for i, sp := range splits {
+		sp.y = ys[groupOf[i]]
+	}
+	// Pass 2: separate each response. Each split touches only its own
+	// pending's out slot, so this fans out cleanly.
+	par.Do(r.Opt.Workers, len(splits), func(i int) {
+		sp := splits[i]
+		p := sp.p
+		out := make([]float64, len(p.sd.pContacts))
+		// Coarse part: R_p·coef restricted to P_s (= contacts of L_p).
+		coarse := sp.par.R.MulVec(sp.coef)
+		for i, c := range p.sd.pContacts {
+			out[i] = coarse[sp.par.pIndex[c]]
+		}
+		// Fine part: refined G_{q,p}·o for every parent-level local q.
+		for _, qsq := range r.Tree.Local(sp.par.sq) {
+			q := r.at(lev-1, qsq.ID)
+			if q == nil {
+				continue
+			}
+			raw := restrict(sp.y, qsq.Contacts)
+			t := raw
+			if r.Opt.Refine {
+				// (4.24): V_q((G_pq V_q)ᵀo) + raw − V_q(V_qᵀ raw).
+				alpha := q.rowsFor(sp.par.sq.Contacts).MulVecT(sp.o)
+				beta := q.V.MulVecT(raw)
+				la.Axpy(-1, beta, alpha)
+				corr := q.V.MulVec(alpha)
+				la.Axpy(1, corr, t)
+			}
+			for i, c := range qsq.Contacts {
+				out[p.sd.pIndex[c]] += t[i]
+			}
+		}
+		p.out = out
+	})
 	return nil
 }
 
@@ -392,26 +455,35 @@ func (r *Rep) buildFinestLocal(s solver.Solver) error {
 	type witem struct {
 		sd  *squareData
 		m   int
-		out []float64 // over lContacts
+		out []float64 // the combined response of the item's group
 	}
+	// W = orthogonal complement of V per square: independent SVDs, fanned
+	// out with the results committed serially in square order.
+	finest := r.Tree.SquaresAt(L)
+	par.Do(r.Opt.Workers, len(finest), func(i int) {
+		sq := finest[i]
+		sd := r.at(L, sq.ID)
+		if sd == nil {
+			return
+		}
+		sd.lContacts = quadtree.ContactsOf(r.Tree.Local(sq))
+		_, q := la.FullRightBasis(sd.V.T())
+		sd.W = q.Cols2(sd.V.Cols, len(sq.Contacts))
+		sd.GLW = la.NewDense(len(sd.lContacts), sd.W.Cols)
+	})
 	var items []*witem
-	for _, sq := range r.Tree.SquaresAt(L) {
+	for _, sq := range finest {
 		sd := r.at(L, sq.ID)
 		if sd == nil {
 			continue
 		}
-		sd.lContacts = quadtree.ContactsOf(r.Tree.Local(sq))
-		ns := len(sq.Contacts)
-		_, q := la.FullRightBasis(sd.V.T())
-		sd.W = q.Cols2(sd.V.Cols, ns)
-		sd.GLW = la.NewDense(len(sd.lContacts), sd.W.Cols)
 		for m := 0; m < sd.W.Cols; m++ {
 			items = append(items, &witem{sd: sd, m: m})
 		}
 	}
 	// Respond to W columns, grouped by (mod-3 class at the finest level,
 	// column index) — W vectors live on their own square, so same-level
-	// spacing suffices.
+	// spacing suffices. Sorted group order + one batched solve.
 	type key struct{ a, b, m int }
 	groups := map[key][]*witem{}
 	for _, it := range items {
@@ -424,51 +496,76 @@ func (r *Rep) buildFinestLocal(s solver.Solver) error {
 			groups[key{i, 0, 0}] = []*witem{it}
 		}
 	}
-	for _, members := range groups {
+	keys := make([]key, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(x, y int) bool {
+		a, b := keys[x], keys[y]
+		if a.a != b.a {
+			return a.a < b.a
+		}
+		if a.b != b.b {
+			return a.b < b.b
+		}
+		return a.m < b.m
+	})
+	thetas := make([][]float64, len(keys))
+	for gi, k := range keys {
 		theta := make([]float64, n)
-		for _, it := range members {
+		for _, it := range groups[k] {
 			for i, c := range it.sd.sq.Contacts {
 				theta[c] += it.sd.W.At(i, it.m)
 			}
 		}
-		y, err := s.Solve(theta)
-		if err != nil {
-			return err
-		}
-		for _, it := range members {
-			sd := it.sd
-			out := make([]float64, len(sd.lContacts))
-			w := sd.W.Col(it.m)
-			pos := 0
-			for _, qsq := range r.Tree.Local(sd.sq) {
-				raw := restrict(y, qsq.Contacts)
-				t := raw
-				q := r.at(L, qsq.ID)
-				if r.Opt.Refine && q != nil {
-					alpha := q.rowsFor(sd.sq.Contacts).MulVecT(w)
-					beta := q.V.MulVecT(raw)
-					la.Axpy(-1, beta, alpha)
-					corr := q.V.MulVec(alpha)
-					la.Axpy(1, corr, t)
-				}
-				copy(out[pos:pos+len(qsq.Contacts)], t)
-				pos += len(qsq.Contacts)
-			}
-			sd.GLW.SetCol(it.m, out)
+		thetas[gi] = theta
+	}
+	ys, err := solver.SolveBatch(s, thetas)
+	if err != nil {
+		return err
+	}
+	for gi, k := range keys {
+		for _, it := range groups[k] {
+			it.out = ys[gi]
 		}
 	}
+	// Separate each W response; every item owns its GLW column, so the
+	// separation fans out.
+	par.Do(r.Opt.Workers, len(items), func(idx int) {
+		it := items[idx]
+		sd := it.sd
+		y := it.out
+		out := make([]float64, len(sd.lContacts))
+		w := sd.W.Col(it.m)
+		pos := 0
+		for _, qsq := range r.Tree.Local(sd.sq) {
+			raw := restrict(y, qsq.Contacts)
+			t := raw
+			q := r.at(L, qsq.ID)
+			if r.Opt.Refine && q != nil {
+				alpha := q.rowsFor(sd.sq.Contacts).MulVecT(w)
+				beta := q.V.MulVecT(raw)
+				la.Axpy(-1, beta, alpha)
+				corr := q.V.MulVec(alpha)
+				la.Axpy(1, corr, t)
+			}
+			copy(out[pos:pos+len(qsq.Contacts)], t)
+			pos += len(qsq.Contacts)
+		}
+		sd.GLW.SetCol(it.m, out)
+	})
 	// Local blocks (4.26): (G_Ls,s)^(f) = (G V_s)^(r)·V_sᵀ + (G W_s)^(c)·W_sᵀ.
-	for _, sq := range r.Tree.SquaresAt(L) {
-		sd := r.at(L, sq.ID)
+	par.Do(r.Opt.Workers, len(finest), func(i int) {
+		sd := r.at(L, finest[i].ID)
 		if sd == nil {
-			continue
+			return
 		}
 		rv := sd.rowsFor(sd.lContacts) // (G_{Ls,s}V_s)^(r)
 		sd.GL = la.Mul(rv, sd.V.T())
 		if sd.W.Cols > 0 {
 			sd.GL = la.Add(sd.GL, la.Mul(sd.GLW, sd.W.T()))
 		}
-	}
+	})
 	return nil
 }
 

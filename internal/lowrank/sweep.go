@@ -2,6 +2,7 @@ package lowrank
 
 import (
 	"subcouple/internal/la"
+	"subcouple/internal/par"
 	"subcouple/internal/quadtree"
 	"subcouple/internal/sparse"
 )
@@ -86,15 +87,25 @@ func (r *Rep) Transform() *Transformed {
 		state[sq.ID] = ss
 	}
 
-	// Sweep upward.
+	// Sweep upward. Parent recombinations within a level only read the
+	// finer level's state, so each runs independently on the worker pool;
+	// slot-indexed results keep the sweep order-independent.
 	for lev := L; lev > 2; lev-- {
-		next := make(map[int]*sweepSquare)
-		for _, psq := range r.Tree.SquaresAt(lev - 1) {
+		parents := r.Tree.SquaresAt(lev - 1)
+		built := make([]*sweepSquare, len(parents))
+		par.Do(r.Opt.Workers, len(parents), func(i int) {
+			psq := parents[i]
 			psd := r.at(lev-1, psq.ID)
 			if psd == nil {
-				continue
+				return
 			}
-			next[psq.ID] = r.buildParent(psq, psd, state)
+			built[i] = r.buildParent(psq, psd, state)
+		})
+		next := make(map[int]*sweepSquare)
+		for i, psq := range parents {
+			if built[i] != nil {
+				next[psq.ID] = built[i]
+			}
 		}
 		// Record this level's T columns before discarding the state.
 		tr.recordT(lev, state)

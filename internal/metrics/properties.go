@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// CheckConductance verifies the physical invariants a substrate conductance
+// matrix must satisfy (thesis §2.4), accessing the matrix by columns:
+//
+//   - symmetric: G[i][j] == G[j][i] (reciprocity)
+//   - positive diagonal: each contact sources current into itself
+//   - non-positive off-diagonals: a raised contact draws current out of
+//     every other contact
+//   - column sums ≥ 0: the backplane can only sink current; with a floating
+//     backplane every column sums to exactly zero (all current returns
+//     through the other contacts)
+//
+// tol is a relative tolerance, scaled by the largest diagonal entry.
+// It returns a descriptive error for the first violated property, nil if
+// all hold. The same checks apply to sparsified reconstructions
+// (Result.Apply columns), which is why the matrix is passed as a ColumnFunc
+// rather than a concrete type.
+func CheckConductance(n int, col ColumnFunc, floating bool, tol float64) error {
+	if n == 0 {
+		return nil
+	}
+	cols := make([][]float64, n)
+	scale := 0.0
+	for j := range cols {
+		cols[j] = col(j)
+		if len(cols[j]) != n {
+			return fmt.Errorf("metrics: column %d has length %d, want %d", j, len(cols[j]), n)
+		}
+		if d := math.Abs(cols[j][j]); d > scale {
+			scale = d
+		}
+	}
+	if scale == 0 {
+		return fmt.Errorf("metrics: conductance matrix is identically zero")
+	}
+	for j := 0; j < n; j++ {
+		if cols[j][j] <= 0 {
+			return fmt.Errorf("metrics: diagonal G[%d][%d] = %g not positive", j, j, cols[j][j])
+		}
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += cols[j][i]
+			if i == j {
+				continue
+			}
+			if cols[j][i] > tol*scale {
+				return fmt.Errorf("metrics: off-diagonal G[%d][%d] = %g positive beyond tolerance", i, j, cols[j][i])
+			}
+			if d := math.Abs(cols[j][i] - cols[i][j]); d > tol*scale {
+				return fmt.Errorf("metrics: G not symmetric at (%d,%d): %g vs %g", i, j, cols[j][i], cols[i][j])
+			}
+		}
+		if sum < -tol*scale {
+			return fmt.Errorf("metrics: column %d sums to %g < 0 (backplane cannot source current)", j, sum)
+		}
+		if floating && math.Abs(sum) > tol*scale {
+			return fmt.Errorf("metrics: column %d sums to %g, want 0 with a floating backplane", j, sum)
+		}
+	}
+	return nil
+}
+
+// CheckStrictDominance verifies strict diagonal dominance, G[j][j] >
+// Σ_{i≠j} |G[i][j]|, which holds when the backplane is grounded (part of
+// the injected current always escapes through it).
+func CheckStrictDominance(n int, col ColumnFunc) error {
+	for j := 0; j < n; j++ {
+		c := col(j)
+		var off float64
+		for i := 0; i < n; i++ {
+			if i != j {
+				off += math.Abs(c[i])
+			}
+		}
+		if c[j] <= off {
+			return fmt.Errorf("metrics: column %d not strictly diagonally dominant: %g vs %g", j, c[j], off)
+		}
+	}
+	return nil
+}

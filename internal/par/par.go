@@ -1,0 +1,79 @@
+// Package par is the worker-pool primitive behind every parallel path in
+// the extraction engine. All parallelism in this repository follows one
+// discipline so that results are bitwise-identical for any worker count:
+// work items are indexed, each item writes only its own preallocated output
+// slot, and any cross-item reduction happens serially afterwards in index
+// order. par.Do is the only fan-out primitive, which keeps that discipline
+// easy to audit.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count option: values <= 0 select
+// runtime.NumCPU(), anything else passes through.
+func Workers(w int) int {
+	if w <= 0 {
+		return runtime.NumCPU()
+	}
+	return w
+}
+
+// Do runs fn(i) for every i in [0, n) across min(Workers(workers), n)
+// goroutines. fn must write only state owned by item i. With one worker (or
+// n <= 1) it runs inline with no goroutines, so serial and parallel
+// executions share one code path.
+func Do(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// DoErr is Do for fallible work. Every item runs (no cancellation — items
+// are cheap relative to scheduling and results stay slot-deterministic);
+// the returned error is the one from the lowest failing index, matching
+// what a serial loop that stopped at the first failure would report.
+func DoErr(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	Do(workers, n, func(i int) {
+		errs[i] = fn(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

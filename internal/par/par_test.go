@@ -1,0 +1,58 @@
+package par
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.NumCPU() {
+		t.Fatalf("Workers(0) = %d, want NumCPU = %d", got, runtime.NumCPU())
+	}
+	if got := Workers(-3); got != runtime.NumCPU() {
+		t.Fatalf("Workers(-3) = %d, want NumCPU = %d", got, runtime.NumCPU())
+	}
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5) = %d", got)
+	}
+}
+
+func TestDoVisitsEachIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 100} {
+		const n = 57
+		counts := make([]atomic.Int64, n)
+		Do(workers, n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestDoZeroItems(t *testing.T) {
+	Do(4, 0, func(i int) { t.Fatalf("fn called for n=0 (i=%d)", i) })
+}
+
+func TestDoErrReturnsLowestIndexError(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	for _, workers := range []int{1, 4} {
+		err := DoErr(workers, 20, func(i int) error {
+			switch i {
+			case 3:
+				return errLow
+			case 17:
+				return errHigh
+			}
+			return nil
+		})
+		if err != errLow {
+			t.Fatalf("workers=%d: got %v, want the lowest-index error", workers, err)
+		}
+	}
+	if err := DoErr(4, 20, func(int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

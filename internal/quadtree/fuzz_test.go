@@ -1,0 +1,89 @@
+package quadtree
+
+import (
+	"testing"
+
+	"subcouple/internal/geom"
+)
+
+// fuzzLayout decodes up to 12 integer-aligned rectangles from raw fuzz
+// data (4 bytes each) onto a 16×16 surface, mirroring the geom fuzz
+// generator.
+func fuzzLayout(data []byte) *geom.Layout {
+	const grid = 16
+	l := &geom.Layout{A: grid, B: grid}
+	for k := 0; k+4 <= len(data) && len(l.Contacts) < 12; k += 4 {
+		x0 := float64(int(data[k]) % grid)
+		y0 := float64(int(data[k+1]) % grid)
+		w := float64(1 + int(data[k+2])%(grid-int(x0)))
+		h := float64(1 + int(data[k+3])%(grid-int(y0)))
+		l.Contacts = append(l.Contacts, geom.Contact{
+			Rect:  geom.Rect{X0: x0, Y0: y0, X1: x0 + w, Y1: y0 + h},
+			Group: len(l.Contacts),
+		})
+	}
+	return l
+}
+
+// FuzzBuild checks the hierarchy invariants for arbitrary layouts: Build
+// never panics, every contact is assigned to exactly one square per level,
+// and the local/interactive sets are disjoint with the right geometry.
+func FuzzBuild(f *testing.F) {
+	f.Add([]byte{0, 0, 15, 15, 3, 3, 4, 4}, 3)
+	f.Add([]byte{1, 1, 6, 6, 8, 8, 7, 7, 0, 8, 8, 4}, 2)
+	f.Add([]byte{5, 0, 10, 2, 0, 5, 2, 10}, 4)
+	f.Fuzz(func(t *testing.T, data []byte, levelSel int) {
+		raw := fuzzLayout(data)
+		maxLevel := 2 + ((levelSel%3)+3)%3 // 2, 3 or 4
+		l := raw.SplitToGrid(raw.A / float64(int(1)<<maxLevel))
+		tree, err := Build(l, maxLevel)
+		if err != nil {
+			// Build may reject a layout, but only cleanly.
+			return
+		}
+		for lev := 0; lev <= maxLevel; lev++ {
+			seen := make([]int, l.N())
+			for _, sq := range tree.SquaresAt(lev) {
+				for _, ci := range sq.Contacts {
+					seen[ci]++
+				}
+			}
+			for ci, n := range seen {
+				if n != 1 {
+					t.Fatalf("level %d: contact %d assigned %d times", lev, ci, n)
+				}
+			}
+		}
+		for lev := 0; lev <= maxLevel; lev++ {
+			for _, sq := range tree.SquaresAt(lev) {
+				local := tree.Local(sq)
+				inter := tree.Interactive(sq)
+				inLocal := map[int]bool{}
+				self := false
+				for _, q := range local {
+					inLocal[q.ID] = true
+					if q == sq {
+						self = true
+					}
+					if chebDist(sq, q) > 1 {
+						t.Fatalf("level %d square %d: local square %d at distance > 1", lev, sq.ID, q.ID)
+					}
+				}
+				if !self {
+					t.Fatalf("level %d square %d: L_s does not contain s", lev, sq.ID)
+				}
+				for _, q := range inter {
+					if inLocal[q.ID] {
+						t.Fatalf("level %d square %d: square %d in both I_s and L_s", lev, sq.ID, q.ID)
+					}
+					if chebDist(sq, q) < 2 {
+						t.Fatalf("level %d square %d: interactive square %d at distance < 2", lev, sq.ID, q.ID)
+					}
+				}
+				if got, want := len(tree.Proximity(sq)), len(local)+len(inter); got != want {
+					t.Fatalf("level %d square %d: |P_s| = %d, want |L_s|+|I_s| = %d", lev, sq.ID, got, want)
+				}
+			}
+		}
+	})
+}

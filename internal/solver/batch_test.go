@@ -1,0 +1,145 @@
+package solver
+
+import (
+	"errors"
+	"testing"
+)
+
+// stubSolver returns a copy of the input scaled by 2 and errors on a
+// designated index (marked by v[0]).
+type stubSolver struct {
+	n       int
+	failOn  float64
+	batches int // incremented when SolveBatch-as-BatchSolver is used
+}
+
+func (s *stubSolver) N() int { return s.n }
+
+func (s *stubSolver) Solve(v []float64) ([]float64, error) {
+	if s.failOn != 0 && v[0] == s.failOn {
+		return nil, errors.New("stub failure")
+	}
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = 2 * x
+	}
+	return out, nil
+}
+
+// batchStub additionally implements BatchSolver and WorkerSetter.
+type batchStub struct {
+	stubSolver
+	workers int
+}
+
+func (s *batchStub) SetWorkers(w int) { s.workers = w }
+
+func (s *batchStub) SolveBatch(vs [][]float64) ([][]float64, error) {
+	s.batches++
+	out := make([][]float64, len(vs))
+	for i, v := range vs {
+		r, err := s.Solve(v)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+func batchOf(n, k int) [][]float64 {
+	vs := make([][]float64, k)
+	for i := range vs {
+		vs[i] = make([]float64, n)
+		vs[i][i%n] = float64(i + 1)
+	}
+	return vs
+}
+
+func TestParallelSolveBatchMatchesSerial(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		p := Parallel(&stubSolver{n: 4}, workers)
+		vs := batchOf(4, 11)
+		got, err := p.SolveBatch(vs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range vs {
+			for j := range v {
+				if got[i][j] != 2*v[j] {
+					t.Fatalf("workers=%d: batch slot %d wrong", workers, i)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelSolveBatchError(t *testing.T) {
+	p := Parallel(&stubSolver{n: 4, failOn: 5}, 4)
+	if _, err := p.SolveBatch(batchOf(4, 11)); err == nil {
+		t.Fatalf("expected the failing solve's error")
+	}
+}
+
+func TestParallelPrefersNativeBatchAndPropagatesWorkers(t *testing.T) {
+	b := &batchStub{stubSolver: stubSolver{n: 4}}
+	p := Parallel(b, 3)
+	if b.workers != 3 {
+		t.Fatalf("SetWorkers not called: workers = %d", b.workers)
+	}
+	if _, err := p.SolveBatch(batchOf(4, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if b.batches != 1 {
+		t.Fatalf("native SolveBatch used %d times, want 1", b.batches)
+	}
+}
+
+func TestParallelRewrapReplacesWorkerCount(t *testing.T) {
+	inner := &stubSolver{n: 2}
+	p := Parallel(Parallel(inner, 8), 1).(*parallelSolver)
+	if p.s != Solver(inner) {
+		t.Fatalf("re-wrapping nested the adapters instead of replacing")
+	}
+	if p.workers != 1 {
+		t.Fatalf("workers = %d, want 1", p.workers)
+	}
+}
+
+func TestCountingSolveBatch(t *testing.T) {
+	c := NewCounting(Parallel(&stubSolver{n: 3}, 2))
+	if _, err := c.SolveBatch(batchOf(3, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Solve([]float64{1, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Solves != 8 {
+		t.Fatalf("Solves = %d, want 8", c.Solves)
+	}
+}
+
+func TestPackageSolveBatchFallsBackToLoop(t *testing.T) {
+	s := &stubSolver{n: 3}
+	got, err := SolveBatch(s, batchOf(3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("got %d responses", len(got))
+	}
+	s.failOn = 4
+	if _, err := SolveBatch(s, batchOf(3, 4)); err == nil {
+		t.Fatalf("expected error from the failing solve")
+	}
+}
+
+func TestExtractColumnsOutOfRange(t *testing.T) {
+	s := &stubSolver{n: 3}
+	if _, err := ExtractColumns(s, []int{0, 3}); err == nil {
+		t.Fatalf("expected out-of-range error")
+	}
+	if _, err := ExtractColumns(s, []int{-1}); err == nil {
+		t.Fatalf("expected negative-index error")
+	}
+}

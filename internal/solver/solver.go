@@ -8,6 +8,7 @@ package solver
 
 import (
 	"fmt"
+	"sync"
 
 	"subcouple/internal/la"
 )
@@ -28,10 +29,14 @@ type IterationReporter interface {
 }
 
 // Counting wraps a Solver and counts black-box calls, the currency of the
-// thesis's solve-reduction factor.
+// thesis's solve-reduction factor. Increments are mutex-guarded so a
+// Counting may sit below a Parallel adapter; read Solves only when no
+// solves are in flight (i.e. after the extraction returns).
 type Counting struct {
 	S      Solver
 	Solves int
+
+	mu sync.Mutex
 }
 
 // NewCounting wraps s.
@@ -42,12 +47,37 @@ func (c *Counting) N() int { return c.S.N() }
 
 // Solve implements Solver, incrementing the call counter.
 func (c *Counting) Solve(v []float64) ([]float64, error) {
-	c.Solves++
+	c.add(1)
 	return c.S.Solve(v)
 }
 
+// SolveBatch implements BatchSolver: a batch of k right-hand sides counts
+// as k black-box calls regardless of how the wrapped solver executes them.
+func (c *Counting) SolveBatch(vs [][]float64) ([][]float64, error) {
+	c.add(len(vs))
+	return SolveBatch(c.S, vs)
+}
+
+func (c *Counting) add(k int) {
+	c.mu.Lock()
+	c.Solves += k
+	c.mu.Unlock()
+}
+
+// AvgIterations passes through the wrapped solver's iteration statistics.
+func (c *Counting) AvgIterations() float64 {
+	if ir, ok := c.S.(IterationReporter); ok {
+		return ir.AvgIterations()
+	}
+	return 0
+}
+
 // Reset zeroes the call counter.
-func (c *Counting) Reset() { c.Solves = 0 }
+func (c *Counting) Reset() {
+	c.mu.Lock()
+	c.Solves = 0
+	c.mu.Unlock()
+}
 
 // Dense is a Solver backed by an explicit conductance matrix. It is used in
 // tests and to re-drive the sparsification algorithms cheaply once an exact
@@ -76,42 +106,34 @@ func (d *Dense) Solve(v []float64) ([]float64, error) {
 }
 
 // ExtractDense runs the naive extraction: n black-box calls, one per
-// standard basis vector (thesis §1.2), returning the dense G.
+// standard basis vector (thesis §1.2), returning the dense G. The calls go
+// through SolveBatch in chunks, so wrapping s with Parallel (or passing a
+// native BatchSolver) extracts columns concurrently.
 func ExtractDense(s Solver) (*la.Dense, error) {
 	n := s.N()
+	cols := make([]int, n)
+	for j := range cols {
+		cols[j] = j
+	}
 	g := la.NewDense(n, n)
-	e := make([]float64, n)
-	for j := 0; j < n; j++ {
-		e[j] = 1
-		col, err := s.Solve(e)
-		if err != nil {
-			return nil, fmt.Errorf("solver: extracting column %d: %w", j, err)
-		}
-		e[j] = 0
+	err := extractInto(s, cols, func(j int, col []float64) {
 		for i := 0; i < n; i++ {
 			g.Set(i, j, col[i])
 		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	return g, nil
 }
 
 // ExtractColumns runs the naive extraction for a subset of columns (used for
-// the thesis's 10%-sample error measurement on large examples).
+// the thesis's 10%-sample error measurement on large examples), batched the
+// same way as ExtractDense.
 func ExtractColumns(s Solver, cols []int) (*la.Dense, error) {
-	n := s.N()
-	g := la.NewDense(n, len(cols))
-	e := make([]float64, n)
-	for ji, j := range cols {
-		if j < 0 || j >= n {
-			return nil, fmt.Errorf("solver: column %d out of range", j)
-		}
-		e[j] = 1
-		col, err := s.Solve(e)
-		if err != nil {
-			return nil, fmt.Errorf("solver: extracting column %d: %w", j, err)
-		}
-		e[j] = 0
-		g.SetCol(ji, col)
+	g := la.NewDense(s.N(), len(cols))
+	if err := extractInto(s, cols, g.SetCol); err != nil {
+		return nil, err
 	}
 	return g, nil
 }

@@ -19,6 +19,7 @@ import (
 	"subcouple/internal/geom"
 	"subcouple/internal/la"
 	"subcouple/internal/moments"
+	"subcouple/internal/par"
 	"subcouple/internal/quadtree"
 	"subcouple/internal/sparse"
 )
@@ -73,8 +74,18 @@ type Basis struct {
 
 // NewBasis builds the wavelet basis for a layout already split so that no
 // contact crosses a finest-level square boundary. p is the moment order
-// (the thesis found p = 2 effective).
+// (the thesis found p = 2 effective). Per-square moment SVDs run on all
+// CPUs; use NewBasisWorkers to control the pool size.
 func NewBasis(layout *geom.Layout, tree *quadtree.Tree, p int) (*Basis, error) {
+	return NewBasisWorkers(layout, tree, p, 0)
+}
+
+// NewBasisWorkers is NewBasis with an explicit worker count for the
+// per-square moment-matrix SVD splits (workers <= 0 selects
+// runtime.NumCPU()). Each square's split is computed into its own slot and
+// the splits are stitched into Q serially in square order, so the basis is
+// bitwise-identical for any worker count.
+func NewBasisWorkers(layout *geom.Layout, tree *quadtree.Tree, p, workers int) (*Basis, error) {
 	if p < 0 {
 		return nil, fmt.Errorf("wavelet: moment order must be >= 0")
 	}
@@ -93,28 +104,51 @@ func NewBasis(layout *geom.Layout, tree *quadtree.Tree, p int) (*Basis, error) {
 	vBasis := make(map[int]*la.Dense)
 
 	// Finest level: split each square's standard basis by the SVD of M_s.
-	for _, s := range tree.SquaresAt(L) {
-		ns := len(s.Contacts)
-		if ns == 0 {
-			continue
+	// The SVDs are independent per square, so they run on the worker pool
+	// into per-square slots; the serial stitch below preserves the exact
+	// column ordering of a serial build.
+	type split struct {
+		q  *la.Dense
+		vs int
+	}
+	finest := tree.SquaresAt(L)
+	fsplits := make([]split, len(finest))
+	par.Do(workers, len(finest), func(i int) {
+		s := finest[i]
+		if len(s.Contacts) == 0 {
+			return
 		}
 		cx, cy := tree.Center(s)
 		m := moments.Matrix(layout, s.Contacts, cx, cy, p, tree.SideAt(L))
 		sigma, q := la.FullRightBasis(m)
-		vs := la.RankByThreshold(sigma, b.RankTol, 0)
-		vBasis[s.ID] = q.Cols2(0, vs)
-		b.appendW(s, q.Cols2(vs, ns), s.Contacts)
-		b.facFinest[s.ID] = q
-		b.facVCols[levelKey(L, s.ID)] = vs
+		fsplits[i] = split{q: q, vs: la.RankByThreshold(sigma, b.RankTol, 0)}
+	})
+	for i, s := range finest {
+		sp := fsplits[i]
+		if sp.q == nil {
+			continue
+		}
+		vBasis[s.ID] = sp.q.Cols2(0, sp.vs)
+		b.appendW(s, sp.q.Cols2(sp.vs, len(s.Contacts)), s.Contacts)
+		b.facFinest[s.ID] = sp.q
+		b.facVCols[levelKey(L, s.ID)] = sp.vs
 	}
 
-	// Coarser levels: recombine child V bases.
+	// Coarser levels: recombine child V bases. Within a level the parent
+	// recombinations only read the previous level's vBasis, so they run on
+	// the worker pool the same way.
+	type recomb struct {
+		vNew, wNew, q *la.Dense
+		vs            int
+	}
 	for lev := L - 1; lev >= 0; lev-- {
-		next := make(map[int]*la.Dense)
-		for _, s := range tree.SquaresAt(lev) {
+		squares := tree.SquaresAt(lev)
+		rsplits := make([]recomb, len(squares))
+		par.Do(workers, len(squares), func(i int) {
+			s := squares[i]
 			np := len(s.Contacts)
 			if np == 0 {
-				continue
+				return
 			}
 			rowOf := make(map[int]int, np)
 			for r, ci := range s.Contacts {
@@ -146,19 +180,30 @@ func NewBasis(layout *geom.Layout, tree *quadtree.Tree, p int) (*Basis, error) {
 				col += v.Cols
 			}
 			if totalCols == 0 {
-				continue
+				return
 			}
 			cx, cy := tree.Center(s)
 			mp := moments.Matrix(layout, s.Contacts, cx, cy, p, tree.SideAt(lev))
 			mv := la.Mul(mp, vch)
 			sigma, q := la.FullRightBasis(mv)
 			vs := la.RankByThreshold(sigma, b.RankTol, 0)
-			vNew := la.Mul(vch, q.Cols2(0, vs))
-			wNew := la.Mul(vch, q.Cols2(vs, totalCols))
-			next[s.ID] = vNew
-			b.appendW(s, wNew, s.Contacts)
-			b.facCoarse[levelKey(lev, s.ID)] = q
-			b.facVCols[levelKey(lev, s.ID)] = vs
+			rsplits[i] = recomb{
+				vNew: la.Mul(vch, q.Cols2(0, vs)),
+				wNew: la.Mul(vch, q.Cols2(vs, totalCols)),
+				q:    q,
+				vs:   vs,
+			}
+		})
+		next := make(map[int]*la.Dense)
+		for i, s := range squares {
+			r := rsplits[i]
+			if r.q == nil {
+				continue
+			}
+			next[s.ID] = r.vNew
+			b.appendW(s, r.wNew, s.Contacts)
+			b.facCoarse[levelKey(lev, s.ID)] = r.q
+			b.facVCols[levelKey(lev, s.ID)] = r.vs
 		}
 		vBasis = next
 	}

@@ -2,6 +2,7 @@ package wavelet
 
 import (
 	"fmt"
+	"sort"
 
 	"subcouple/internal/la"
 	"subcouple/internal/quadtree"
@@ -42,6 +43,14 @@ func (b *Basis) ExtractCombined(s solver.Solver) (*sparse.Matrix, error) {
 	}
 	em := newEntryMap(b.N())
 
+	// Every black-box call of the algorithm is independent of every other,
+	// so the whole schedule — direct solves plus all combine-solves on all
+	// levels — is assembled first and issued as one SolveBatch. A Parallel
+	// (or natively batched) solver then answers them concurrently. Entry
+	// writes into em stay serial and in schedule order, so the result is
+	// bitwise-independent of the worker count.
+	var rhs [][]float64
+
 	// Direct solves: root V columns and W columns on levels 0 and 1
 	// interact with everything.
 	var direct []int
@@ -52,16 +61,19 @@ func (b *Basis) ExtractCombined(s solver.Solver) (*sparse.Matrix, error) {
 		}
 	}
 	for _, cj := range direct {
-		y, err := s.Solve(b.ColVector(cj))
-		if err != nil {
-			return nil, err
-		}
-		for ci := range b.Cols {
-			em.put(ci, cj, b.colDot(ci, y))
-		}
+		rhs = append(rhs, b.ColVector(cj))
 	}
 
-	// Combine-solves on levels 2..L.
+	// Combine-solves on levels 2..L (eq. 3.24): squares of a (i mod 3,
+	// j mod 3) class are far enough apart to share one solve. Classes are
+	// visited in sorted key order — Go map iteration is randomized, and the
+	// set semantics of entryMap make the overlap entries of symmetric pairs
+	// order-sensitive, so a fixed order is required for reproducibility.
+	type combined struct {
+		lev, m       int
+		contributors []*quadtree.Square
+	}
+	var combs []combined
 	for lev := 2; lev <= b.Tree.MaxLevel; lev++ {
 		classes := make(map[[2]int][]*quadtree.Square)
 		for _, sq := range b.Tree.SquaresAt(lev) {
@@ -71,7 +83,18 @@ func (b *Basis) ExtractCombined(s solver.Solver) (*sparse.Matrix, error) {
 			a, c := quadtree.Mod3Class(sq)
 			classes[[2]int{a, c}] = append(classes[[2]int{a, c}], sq)
 		}
-		for _, members := range classes {
+		keys := make([][2]int, 0, len(classes))
+		for k := range classes {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(x, y int) bool {
+			if keys[x][0] != keys[y][0] {
+				return keys[x][0] < keys[y][0]
+			}
+			return keys[x][1] < keys[y][1]
+		})
+		for _, key := range keys {
+			members := classes[key]
 			maxm := 0
 			for _, sq := range members {
 				if n := len(b.wCols[lev][sq.ID]); n > maxm {
@@ -91,16 +114,28 @@ func (b *Basis) ExtractCombined(s solver.Solver) (*sparse.Matrix, error) {
 				if len(contributors) == 0 {
 					continue
 				}
-				y, err := s.Solve(theta)
-				if err != nil {
-					return nil, err
-				}
-				for _, sq := range contributors {
-					cj := b.wCols[lev][sq.ID][m]
-					for _, ti := range b.targetColumns(sq, lev) {
-						em.put(ti, cj, b.colDot(ti, y))
-					}
-				}
+				rhs = append(rhs, theta)
+				combs = append(combs, combined{lev: lev, m: m, contributors: contributors})
+			}
+		}
+	}
+
+	ys, err := solver.SolveBatch(s, rhs)
+	if err != nil {
+		return nil, err
+	}
+	for k, cj := range direct {
+		y := ys[k]
+		for ci := range b.Cols {
+			em.put(ci, cj, b.colDot(ci, y))
+		}
+	}
+	for k, cb := range combs {
+		y := ys[len(direct)+k]
+		for _, sq := range cb.contributors {
+			cj := b.wCols[cb.lev][sq.ID][cb.m]
+			for _, ti := range b.targetColumns(sq, cb.lev) {
+				em.put(ti, cj, b.colDot(ti, y))
 			}
 		}
 	}
@@ -116,12 +151,24 @@ func (b *Basis) ExtractDirect(s solver.Solver) (*sparse.Matrix, error) {
 	}
 	n := b.N()
 	resp := make([][]float64, n)
-	for j := 0; j < n; j++ {
-		y, err := s.Solve(b.ColVector(j))
+	// Chunked batches keep the in-flight right-hand sides bounded while
+	// still feeding a parallel solver; slot-indexed responses keep the
+	// result independent of the worker count.
+	const chunk = 128
+	for base := 0; base < n; base += chunk {
+		end := base + chunk
+		if end > n {
+			end = n
+		}
+		vs := make([][]float64, end-base)
+		for k := range vs {
+			vs[k] = b.ColVector(base + k)
+		}
+		ys, err := solver.SolveBatch(s, vs)
 		if err != nil {
 			return nil, err
 		}
-		resp[j] = y
+		copy(resp[base:end], ys)
 	}
 	em := newEntryMap(n)
 	b.keptPairs(func(i, j int) {
