@@ -1,0 +1,204 @@
+// Command benchreport regenerates BENCH_extract.json, the repo's committed
+// perf-trajectory data point: it re-runs the BenchmarkExtractSerial/Parallel
+// ablation pair (end-to-end low-rank extraction of the 256-contact
+// alternating example against the live eigenfunction solver, Workers 1 vs
+// all CPUs) plus the wavelet per-table extraction on the same case, and
+// writes timings, solve counts, and a full instrumented run report.
+//
+// Usage:
+//
+//	benchreport [-short] [-reps 3] [-out BENCH_extract.json]
+//	benchreport -check run.json   # validate a subx/tables -report file
+//
+// -short shrinks the case to 64 contacts so CI can exercise regeneration
+// cheaply; the committed file is produced by a full (non-short) run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"subcouple/internal/core"
+	"subcouple/internal/experiments"
+	"subcouple/internal/geom"
+	"subcouple/internal/metrics"
+	"subcouple/internal/obs"
+	"subcouple/internal/solver"
+)
+
+// benchSchema versions the BENCH_extract.json layout, separate from the
+// run-report schema it embeds.
+const benchSchema = "subcouple-bench/v1"
+
+// benchRow is one timed configuration of the extraction benchmark.
+type benchRow struct {
+	Name         string  `json:"name"`
+	Method       string  `json:"method"`
+	Workers      int     `json:"workers"`
+	Reps         int     `json:"reps"`
+	SecondsPerOp float64 `json:"seconds_per_op"` // best of reps
+	MeanSeconds  float64 `json:"mean_seconds"`
+	Solves       int     `json:"solves"`
+}
+
+// benchFile is the whole BENCH_extract.json document.
+type benchFile struct {
+	Schema     string         `json:"schema"`
+	GoVersion  string         `json:"go_version"`
+	NumCPU     int            `json:"num_cpu"`
+	Short      bool           `json:"short"`
+	Case       string         `json:"case"`
+	Contacts   int            `json:"contacts"`
+	Benchmarks []benchRow     `json:"benchmarks"`
+	Extract    *obs.RunReport `json:"extract_report"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_extract.json", "write the benchmark report to this file")
+	short := flag.Bool("short", false, "use the 64-contact case (fast; for CI)")
+	reps := flag.Int("reps", 3, "timed repetitions per configuration")
+	check := flag.String("check", "", "validate a run report written by subx/tables -report, then exit")
+	flag.Parse()
+	log.SetFlags(log.Ltime)
+
+	if *check != "" {
+		if err := checkReport(*check); err != nil {
+			log.Fatalf("check %s: %v", *check, err)
+		}
+		log.Printf("%s: valid run report", *check)
+		return
+	}
+	if err := run(*out, *short, *reps); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// checkReport validates a -report file from either tool. Reports from subx
+// carry single-extraction result metrics; tables reports aggregate several
+// runs and carry none, so the extraction-result keys are required only when
+// the tool is subx.
+func checkReport(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var r obs.RunReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return err
+	}
+	return obs.ValidateRunReport(data, r.Tool == "subx")
+}
+
+func run(out string, short bool, reps int) error {
+	c := experiments.Example3(experiments.Small) // 256 contacts, as in bench_test.go
+	if short {
+		c = experiments.Case{
+			Name: "3-alternating-short", Layout: geom.AlternatingGrid(64, 64, 8, 8, 1, 7),
+			MaxLevel: 3, NP: 64,
+		}
+	}
+	s, err := experiments.BemSolver(c)
+	if err != nil {
+		return err
+	}
+	n := c.Layout.N()
+	log.Printf("case %s: %d contacts, %d reps per configuration", c.Name, n, reps)
+
+	configs := []struct {
+		name    string
+		method  core.Method
+		workers int
+	}{
+		{"ExtractSerial", core.LowRank, 1},
+		{"ExtractParallel", core.LowRank, 0},
+		{"ExtractWavelet", core.Wavelet, 0},
+	}
+	rows := make([]benchRow, 0, len(configs))
+	for _, cfg := range configs {
+		row, err := timeExtract(s, c, cfg.method, cfg.workers, reps)
+		if err != nil {
+			return fmt.Errorf("%s: %w", cfg.name, err)
+		}
+		row.Name = cfg.name
+		log.Printf("%-16s %8.3fs/op (best of %d), %d solves", row.Name, row.SecondsPerOp, reps, row.Solves)
+		rows = append(rows, row)
+	}
+
+	// One instrumented low-rank run for the embedded phase/histogram report
+	// (outputs are bitwise identical to the timed runs; see the determinism
+	// suite).
+	rec := obs.NewRecorder()
+	s.SetRecorder(rec)
+	res, err := core.Extract(s, c.Layout, core.Options{
+		Method: core.LowRank, MaxLevel: c.MaxLevel, Recorder: rec,
+	})
+	s.SetRecorder(nil)
+	if err != nil {
+		return err
+	}
+
+	doc := benchFile{
+		Schema:     benchSchema,
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		Short:      short,
+		Case:       c.Name,
+		Contacts:   n,
+		Benchmarks: rows,
+		Extract: &obs.RunReport{
+			Schema: obs.ReportSchema,
+			Tool:   "benchreport",
+			Config: map[string]any{
+				"case": c.Name, "contacts": n, "method": "lowrank", "solver": "bem",
+				"max_level": c.MaxLevel, "num_cpu": runtime.NumCPU(),
+			},
+			Results: map[string]any{
+				"solves":          res.Solves,
+				"naive_solves":    n,
+				"solve_reduction": metrics.SolveReduction(n, res.Solves),
+				"gw_nnz":          res.Gw.NNZ(),
+				"gw_sparsity":     res.Gw.Sparsity(),
+			},
+			Obs: rec.Snapshot(),
+		},
+	}
+	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	log.Printf("benchmark report written to %s", out)
+	return nil
+}
+
+// timeExtract runs the extraction reps times and keeps the best and mean
+// wall time (best-of mirrors `go test -bench` practice: least-noise sample).
+func timeExtract(s solver.Solver, c experiments.Case, m core.Method, workers, reps int) (benchRow, error) {
+	row := benchRow{Method: m.String(), Workers: workers, Reps: reps}
+	var total time.Duration
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		res, err := core.Extract(s, c.Layout, core.Options{
+			Method: m, MaxLevel: c.MaxLevel, Workers: workers,
+		})
+		if err != nil {
+			return row, err
+		}
+		d := time.Since(start)
+		total += d
+		if i == 0 || d.Seconds() < row.SecondsPerOp {
+			row.SecondsPerOp = d.Seconds()
+		}
+		row.Solves = res.Solves
+	}
+	row.MeanSeconds = total.Seconds() / float64(reps)
+	return row, nil
+}

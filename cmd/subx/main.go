@@ -9,13 +9,20 @@
 //	subx -layout regular -n 32 -method lowrank
 //	subx -layout mixed -method wavelet -solver fd -spy
 //	subx -layout alternating -n 16 -method lowrank -check -threshold 6
+//	subx -layout regular -n 16 -method lowrank -report run.json
+//	subx -layout regular -n 32 -pprof localhost:6060
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -pprof server
 	"os"
+	"runtime"
 	"strings"
 
 	"subcouple/internal/bem"
@@ -23,28 +30,58 @@ import (
 	"subcouple/internal/fd"
 	"subcouple/internal/geom"
 	"subcouple/internal/metrics"
+	"subcouple/internal/obs"
 	"subcouple/internal/render"
 	"subcouple/internal/solver"
 	"subcouple/internal/substrate"
 )
 
 func main() {
-	var (
-		layoutKind = flag.String("layout", "regular", "layout: regular|irregular|alternating|mixed")
-		n          = flag.Int("n", 16, "contacts per side for grid layouts")
-		method     = flag.String("method", "lowrank", "sparsification method: lowrank|wavelet")
-		solverKind = flag.String("solver", "bem", "black-box substrate solver: bem|fd")
-		surface    = flag.Float64("surface", 128, "substrate surface side length")
-		depth      = flag.Float64("depth", 40, "substrate depth")
-		threshold  = flag.Float64("threshold", 6, "extra thresholding factor for Gwt (0 = off)")
-		check      = flag.Bool("check", false, "extract exact G naively and report entrywise errors (slow)")
-		spy        = flag.Bool("spy", false, "print spy plots of Gw (and Gwt)")
-		save       = flag.String("save", "", "write the extracted model (gob) to this file")
-		probes     = flag.Int("probes", 0, "stochastic error estimate with this many probe solves")
-		workers    = flag.Int("workers", 0, "worker pool size for parallel extraction (0 = all CPUs, 1 = serial); results are identical for any value")
-	)
-	flag.Parse()
 	log.SetFlags(log.Ltime)
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the whole tool behind a testable seam: flags in, human-readable
+// stats out, errors returned instead of exiting.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("subx", flag.ContinueOnError)
+	var (
+		layoutKind = fs.String("layout", "regular", "layout: regular|irregular|alternating|mixed")
+		n          = fs.Int("n", 16, "contacts per side for grid layouts")
+		method     = fs.String("method", "lowrank", "sparsification method: lowrank|wavelet")
+		solverKind = fs.String("solver", "bem", "black-box substrate solver: bem|fd")
+		surface    = fs.Float64("surface", 128, "substrate surface side length")
+		depth      = fs.Float64("depth", 40, "substrate depth")
+		threshold  = fs.Float64("threshold", 6, "extra thresholding factor for Gwt (0 = off)")
+		check      = fs.Bool("check", false, "extract exact G naively and report entrywise errors (slow)")
+		spy        = fs.Bool("spy", false, "print spy plots of Gw (and Gwt)")
+		save       = fs.String("save", "", "write the extracted model (gob) to this file")
+		probes     = fs.Int("probes", 0, "stochastic error estimate with this many probe solves")
+		workers    = fs.Int("workers", 0, "worker pool size for parallel extraction (0 = all CPUs, 1 = serial); results are identical for any value")
+		report     = fs.String("report", "", "write a JSON run report (phase timings, solve counts, iteration histograms, result metrics) to this file")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof and expvar (incl. the live run report under /debug/vars) on this address while running")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// Observability: a recorder exists only when something will read it —
+	// extraction outputs are bitwise identical either way.
+	var rec *obs.Recorder
+	if *report != "" || *pprofAddr != "" {
+		rec = obs.NewRecorder()
+	}
+	if *pprofAddr != "" {
+		expvar.Publish("subcouple", expvar.Func(func() any { return rec.Snapshot() }))
+		go func() {
+			log.Printf("pprof/expvar listening on http://%s/debug/pprof", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	// 1. Layout.
 	var raw *geom.Layout
@@ -58,10 +95,10 @@ func main() {
 	case "mixed":
 		raw = geom.MixedShapes(*surface)
 	default:
-		log.Fatalf("unknown layout %q", *layoutKind)
+		return fmt.Errorf("unknown layout %q", *layoutKind)
 	}
 	if err := raw.Validate(); err != nil {
-		log.Fatalf("layout: %v", err)
+		return fmt.Errorf("layout: %w", err)
 	}
 	layout, maxLevel := core.Prepare(raw, 4)
 	log.Printf("layout %s: %d contacts (%d after splitting), quadtree depth %d",
@@ -79,7 +116,7 @@ func main() {
 		}
 		b, err := bem.New(prof, layout, np)
 		if err != nil {
-			log.Fatalf("bem solver: %v", err)
+			return fmt.Errorf("bem solver: %w", err)
 		}
 		b.Workers = *workers
 		log.Printf("eigenfunction solver: %d panels per side, %d contact panels", np, b.NumPanels())
@@ -92,12 +129,12 @@ func main() {
 			Workers: *workers,
 		})
 		if err != nil {
-			log.Fatalf("fd solver: %v", err)
+			return fmt.Errorf("fd solver: %w", err)
 		}
 		log.Printf("finite-difference solver: %d grid nodes", f.NumNodes())
 		s = f
 	default:
-		log.Fatalf("unknown solver %q", *solverKind)
+		return fmt.Errorf("unknown solver %q", *solverKind)
 	}
 
 	// 3. Extract.
@@ -107,65 +144,144 @@ func main() {
 	}
 	res, err := core.Extract(s, layout, core.Options{
 		Method: m, MaxLevel: maxLevel, ThresholdFactor: *threshold, Workers: *workers,
+		Recorder: rec,
 	})
 	if err != nil {
-		log.Fatalf("extract: %v", err)
+		return fmt.Errorf("extract: %w", err)
 	}
 
 	// 4. Report.
-	fmt.Printf("\nmethod:            %v\n", m)
-	fmt.Printf("contacts:          %d\n", res.N())
-	fmt.Printf("black-box solves:  %d (naive: %d, reduction %.1fx)\n",
+	fmt.Fprintf(out, "\nmethod:            %v\n", m)
+	fmt.Fprintf(out, "contacts:          %d\n", res.N())
+	fmt.Fprintf(out, "black-box solves:  %d (naive: %d, reduction %.1fx)\n",
 		res.Solves, res.N(), metrics.SolveReduction(res.N(), res.Solves))
-	fmt.Printf("Gw sparsity:       %.1fx (%d nonzeros)\n", res.Gw.Sparsity(), res.Gw.NNZ())
-	fmt.Printf("Q sparsity:        %.1fx\n", res.Q().Sparsity())
+	fmt.Fprintf(out, "Gw sparsity:       %.1fx (%d nonzeros)\n", res.Gw.Sparsity(), res.Gw.NNZ())
+	fmt.Fprintf(out, "Q sparsity:        %.1fx\n", res.Q().Sparsity())
 	if res.Gwt != nil {
-		fmt.Printf("Gwt sparsity:      %.1fx (%d nonzeros)\n", res.Gwt.Sparsity(), res.Gwt.NNZ())
+		fmt.Fprintf(out, "Gwt sparsity:      %.1fx (%d nonzeros)\n", res.Gwt.Sparsity(), res.Gwt.NNZ())
 	}
 
 	if *check {
 		log.Printf("extracting exact G naively for the error check (%d solves)...", res.N())
 		g, err := solver.ExtractDense(s)
 		if err != nil {
-			log.Fatalf("naive extraction: %v", err)
+			return fmt.Errorf("naive extraction: %w", err)
 		}
 		st := metrics.Compare(g, res.Column, nil, 0.1)
-		fmt.Printf("max rel error:     %.2f%%  (entries >10%%: %.2f%%)\n", 100*st.MaxRel, 100*st.FracAbove)
+		fmt.Fprintf(out, "max rel error:     %.2f%%  (entries >10%%: %.2f%%)\n", 100*st.MaxRel, 100*st.FracAbove)
 		if res.Gwt != nil {
 			stt := metrics.Compare(g, res.ColumnThresholded, nil, 0.1)
-			fmt.Printf("thresholded:       max rel %.2f%%, >10%%: %.2f%%\n", 100*stt.MaxRel, 100*stt.FracAbove)
+			fmt.Fprintf(out, "thresholded:       max rel %.2f%%, >10%%: %.2f%%\n", 100*stt.MaxRel, 100*stt.FracAbove)
 		}
 	}
 
-	if *probes > 0 {
-		est, err := res.EstimateError(s, *probes, false)
+	// The run report always carries the stochastic error estimate; -probes
+	// only overrides how many probe solves it spends.
+	var est *core.ErrorEstimate
+	if *probes > 0 || *report != "" {
+		e, err := res.EstimateError(s, *probes, false)
 		if err != nil {
-			log.Fatalf("error estimate: %v", err)
+			return fmt.Errorf("error estimate: %w", err)
 		}
-		fmt.Printf("probe estimate:    mean rel %.3f%%, max rel %.3f%% over %d probes\n",
+		est = &e
+		fmt.Fprintf(out, "probe estimate:    mean rel %.3f%%, max rel %.3f%% over %d probes\n",
 			100*est.MeanRel, 100*est.MaxRel, est.Probes)
 	}
 
 	if *save != "" {
 		f, err := os.Create(*save)
 		if err != nil {
-			log.Fatalf("save: %v", err)
+			return fmt.Errorf("save: %w", err)
 		}
 		if err := res.Model().Write(f); err != nil {
-			log.Fatalf("save: %v", err)
+			return fmt.Errorf("save: %w", err)
 		}
 		if err := f.Close(); err != nil {
-			log.Fatalf("save: %v", err)
+			return fmt.Errorf("save: %w", err)
 		}
 		log.Printf("model written to %s", *save)
 	}
 
 	if *spy {
-		fmt.Println("\nGw spy plot (quadrant-hierarchical ordering):")
-		fmt.Println(render.Spy(res.GwReordered(false), 72))
+		fmt.Fprintln(out, "\nGw spy plot (quadrant-hierarchical ordering):")
+		fmt.Fprintln(out, render.Spy(res.GwReordered(false), 72))
 		if res.Gwt != nil {
-			fmt.Println("Gwt spy plot:")
-			fmt.Println(render.Spy(res.GwReordered(true), 72))
+			fmt.Fprintln(out, "Gwt spy plot:")
+			fmt.Fprintln(out, render.Spy(res.GwReordered(true), 72))
 		}
+	}
+
+	if *report != "" {
+		rep := buildReport(rec, res, est, reportConfig{
+			Layout: *layoutKind, N: *n, Method: m.String(), Solver: *solverKind,
+			Surface: *surface, Depth: *depth, Threshold: *threshold,
+			Workers: *workers, MaxLevel: maxLevel, Contacts: res.N(),
+		})
+		data, err := rep.MarshalIndent()
+		if err != nil {
+			return fmt.Errorf("report: %w", err)
+		}
+		if err := os.WriteFile(*report, data, 0o644); err != nil {
+			return fmt.Errorf("report: %w", err)
+		}
+		log.Printf("run report written to %s", *report)
+	}
+	return nil
+}
+
+// reportConfig is the resolved run configuration echoed into the report.
+type reportConfig struct {
+	Layout    string
+	N         int
+	Method    string
+	Solver    string
+	Surface   float64
+	Depth     float64
+	Threshold float64
+	Workers   int
+	MaxLevel  int
+	Contacts  int
+}
+
+// buildReport assembles the schema-stable run report (see DESIGN.md,
+// "Observability"): resolved config, end-of-run result metrics, and the
+// recorder's phases/counters/histograms.
+func buildReport(rec *obs.Recorder, res *core.Result, est *core.ErrorEstimate, cfg reportConfig) *obs.RunReport {
+	results := map[string]any{
+		"solves":          res.Solves,
+		"naive_solves":    res.N(),
+		"solve_reduction": metrics.SolveReduction(res.N(), res.Solves),
+		"gw_nnz":          res.Gw.NNZ(),
+		"gw_sparsity":     res.Gw.Sparsity(),
+		"q_sparsity":      res.Q().Sparsity(),
+	}
+	if res.Gwt != nil {
+		results["gwt_nnz"] = res.Gwt.NNZ()
+		results["gwt_sparsity"] = res.Gwt.Sparsity()
+	}
+	if est != nil {
+		results["est_probes"] = est.Probes
+		results["est_counted"] = est.Counted
+		results["est_mean_rel"] = est.MeanRel
+		results["est_max_rel"] = est.MaxRel
+	}
+	return &obs.RunReport{
+		Schema: obs.ReportSchema,
+		Tool:   "subx",
+		Config: map[string]any{
+			"layout":    cfg.Layout,
+			"n":         cfg.N,
+			"method":    cfg.Method,
+			"solver":    cfg.Solver,
+			"surface":   cfg.Surface,
+			"depth":     cfg.Depth,
+			"threshold": cfg.Threshold,
+			"workers":   cfg.Workers,
+			"max_level": cfg.MaxLevel,
+			"contacts":  cfg.Contacts,
+			"num_cpu":   runtime.NumCPU(),
+		},
+		Results: results,
+		Obs:     rec.Snapshot(),
 	}
 }

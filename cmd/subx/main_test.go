@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"subcouple/internal/obs"
+)
+
+var update = flag.Bool("update", false, "regenerate testdata/report_example.json")
+
+// goldenArgs is the fixed invocation behind the committed example report.
+// Wall times and iteration counts vary run to run; the KEY SET — every
+// phase, counter, histogram, config and result name — is the schema
+// surface, and that is what this test pins.
+var goldenArgs = []string{
+	"-layout", "regular", "-n", "8", "-surface", "32",
+	"-method", "lowrank", "-workers", "2",
+}
+
+const goldenPath = "testdata/report_example.json"
+
+// reportKeys reduces a run report to its schema surface: sorted key lists
+// per section plus the phase-name timeline.
+func reportKeys(t *testing.T, data []byte) map[string][]string {
+	t.Helper()
+	var r obs.RunReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(data, &top); err != nil {
+		t.Fatal(err)
+	}
+	keys := map[string][]string{}
+	for k := range top {
+		keys["top"] = append(keys["top"], k)
+	}
+	for k := range r.Config {
+		keys["config"] = append(keys["config"], k)
+	}
+	for k := range r.Results {
+		keys["results"] = append(keys["results"], k)
+	}
+	for k := range r.Obs.Counters {
+		keys["counters"] = append(keys["counters"], k)
+	}
+	for k := range r.Obs.Histograms {
+		keys["histograms"] = append(keys["histograms"], k)
+	}
+	for _, p := range r.Obs.Phases {
+		keys["phases"] = append(keys["phases"], p.Name)
+	}
+	for _, v := range keys {
+		sort.Strings(v)
+	}
+	return keys
+}
+
+func TestReportGoldenKeys(t *testing.T) {
+	tmp := filepath.Join(t.TempDir(), "report.json")
+	var out bytes.Buffer
+	if err := run(append(goldenArgs, "-report", tmp), &out); err != nil {
+		t.Fatalf("subx run: %v", err)
+	}
+	got, err := os.ReadFile(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateRunReport(got, true); err != nil {
+		t.Fatalf("generated report invalid: %v", err)
+	}
+
+	if *update {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", goldenPath)
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing committed example (run with -update): %v", err)
+	}
+	if err := obs.ValidateRunReport(want, true); err != nil {
+		t.Fatalf("committed example invalid: %v", err)
+	}
+	gotKeys, wantKeys := reportKeys(t, got), reportKeys(t, want)
+	if !reflect.DeepEqual(gotKeys, wantKeys) {
+		t.Fatalf("report schema drifted from %s (rerun with -update if intentional)\n got: %v\nwant: %v",
+			goldenPath, gotKeys, wantKeys)
+	}
+}
+
+// TestReportDeterministicResults pins the run-to-run stable part of the
+// report: two identical invocations must agree exactly on config and
+// results (extraction is deterministic; only timings may differ).
+func TestReportDeterministicResults(t *testing.T) {
+	section := func(path string) (config, results json.RawMessage) {
+		var out bytes.Buffer
+		if err := run(append(goldenArgs, "-report", path), &out); err != nil {
+			t.Fatalf("subx run: %v", err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var top struct {
+			Config  json.RawMessage `json:"config"`
+			Results json.RawMessage `json:"results"`
+		}
+		if err := json.Unmarshal(data, &top); err != nil {
+			t.Fatal(err)
+		}
+		return top.Config, top.Results
+	}
+	dir := t.TempDir()
+	c1, r1 := section(filepath.Join(dir, "a.json"))
+	c2, r2 := section(filepath.Join(dir, "b.json"))
+	if !bytes.Equal(c1, c2) {
+		t.Fatalf("config sections differ:\n%s\n%s", c1, c2)
+	}
+	if !bytes.Equal(r1, r2) {
+		t.Fatalf("results sections differ:\n%s\n%s", r1, r2)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{"-layout", "nope"},
+		{"-solver", "nope", "-n", "4", "-surface", "16"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}

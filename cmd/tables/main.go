@@ -27,6 +27,7 @@ import (
 	"subcouple/internal/experiments"
 	"subcouple/internal/fd"
 	"subcouple/internal/la"
+	"subcouple/internal/obs"
 	"subcouple/internal/solver"
 	"subcouple/internal/substrate"
 )
@@ -36,9 +37,13 @@ func main() {
 	small := flag.Bool("small", false, "shrink examples ~4x for a fast run")
 	large := flag.Bool("large", false, "include the 10240-contact Example 5 (slow)")
 	workers := flag.Int("workers", 0, "worker pool size for parallel extraction (0 = all CPUs, 1 = serial); results are identical for any value")
+	report := flag.String("report", "", "write a JSON run report aggregating phase timings and iteration histograms across the run to this file")
 	flag.Parse()
 	log.SetFlags(log.Ltime)
 	experiments.Workers = *workers
+	if *report != "" {
+		experiments.Recorder = obs.NewRecorder()
+	}
 
 	scale := experiments.Full
 	if *small {
@@ -64,6 +69,37 @@ func main() {
 	if *table == "4.2" {
 		log.Printf("Table 4.2 is printed together with 4.1 (run -table 4.1)")
 	}
+
+	if *report != "" {
+		if err := writeReport(*report, *table, *small, *large, *workers); err != nil {
+			log.Fatalf("report: %v", err)
+		}
+		log.Printf("run report written to %s", *report)
+	}
+}
+
+// writeReport dumps the run-wide recorder — phases, solve counters and
+// iteration histograms aggregated across every table that ran — as a
+// subcouple-run-report/v1 document (same schema as subx -report, minus the
+// single-extraction result metrics).
+func writeReport(path, table string, small, large bool, workers int) error {
+	rep := &obs.RunReport{
+		Schema: obs.ReportSchema,
+		Tool:   "tables",
+		Config: map[string]any{
+			"table":   table,
+			"small":   small,
+			"large":   large,
+			"workers": workers,
+		},
+		Results: map[string]any{},
+		Obs:     experiments.Recorder.Snapshot(),
+	}
+	data, err := rep.MarshalIndent()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 func table21(scale experiments.Scale) error {

@@ -19,6 +19,7 @@ import (
 	"subcouple/internal/dct"
 	"subcouple/internal/geom"
 	"subcouple/internal/la"
+	"subcouple/internal/obs"
 	"subcouple/internal/par"
 	"subcouple/internal/solver"
 	"subcouple/internal/substrate"
@@ -45,6 +46,8 @@ type Solver struct {
 
 	solves     atomic.Int64
 	totalIters atomic.Int64
+
+	rec *obs.Recorder // CG/PCG iteration histogram
 }
 
 // New builds a solver for the layout on the profile with an np-by-np panel
@@ -137,6 +140,7 @@ func (s *Solver) Solve(v []float64) ([]float64, error) {
 	}
 	s.solves.Add(1)
 	s.totalIters.Add(int64(iters))
+	s.rec.Observe("bem/cg_iters", float64(iters))
 	if err != nil {
 		return nil, err
 	}
@@ -149,6 +153,10 @@ func (s *Solver) Solve(v []float64) ([]float64, error) {
 
 // SetWorkers implements solver.WorkerSetter.
 func (s *Solver) SetWorkers(w int) { s.Workers = w }
+
+// SetRecorder implements obs.RecorderSetter: CG (or PCG) iteration counts
+// land in the "bem/cg_iters" histogram.
+func (s *Solver) SetRecorder(rec *obs.Recorder) { s.rec = rec }
 
 // SolveBatch implements solver.BatchSolver: independent right-hand sides
 // run as concurrent CG solves on the worker pool. Every solve allocates its

@@ -17,6 +17,7 @@ import (
 
 	"subcouple/internal/geom"
 	"subcouple/internal/lowrank"
+	"subcouple/internal/obs"
 	"subcouple/internal/quadtree"
 	"subcouple/internal/solver"
 	"subcouple/internal/sparse"
@@ -66,6 +67,11 @@ type Options struct {
 	// and per-square basis work; <= 0 selects runtime.NumCPU() and 1 runs
 	// fully serial. Extraction results are bitwise-identical for any value.
 	Workers int
+	// Recorder, when non-nil, collects per-phase wall times, solve counts,
+	// batch stats, and (for instrumented solvers) iteration histograms
+	// during the extraction. Recording never changes extraction outputs —
+	// they stay bitwise identical to a nil-recorder run.
+	Recorder *obs.Recorder
 }
 
 // Prepare splits a layout at the finest-square boundaries of an
@@ -116,6 +122,11 @@ func Extract(s solver.Solver, layout *geom.Layout, opt Options) (*Result, error)
 	// and the Parallel adapter fans them across the worker pool — unless s
 	// natively batches, in which case its own implementation is preferred.
 	counting := solver.NewCounting(solver.Parallel(s, opt.Workers))
+	// One SetRecorder call wires the whole chain: the counter streams solve
+	// and batch stats, the pool its worker utilization, and an instrumented
+	// backend (fd, bem) its iteration histograms. Nil recorder = no-op.
+	counting.SetRecorder(opt.Recorder)
+	defer opt.Recorder.Phase("core/extract")()
 	res := &Result{Method: opt.Method, Layout: layout, Tree: tree}
 
 	switch opt.Method {
@@ -124,7 +135,7 @@ func Extract(s solver.Solver, layout *geom.Layout, opt Options) (*Result, error)
 		if p == 0 {
 			p = 2
 		}
-		b, err := wavelet.NewBasisWorkers(layout, tree, p, opt.Workers)
+		b, err := wavelet.NewBasisRec(layout, tree, p, opt.Workers, opt.Recorder)
 		if err != nil {
 			return nil, err
 		}
@@ -145,6 +156,7 @@ func Extract(s solver.Solver, layout *geom.Layout, opt Options) (*Result, error)
 		if lopt.Workers == 0 {
 			lopt.Workers = opt.Workers
 		}
+		lopt.Rec = opt.Recorder
 		rep, err := lowrank.Build(layout, tree, counting, lopt)
 		if err != nil {
 			return nil, err
@@ -157,7 +169,9 @@ func Extract(s solver.Solver, layout *geom.Layout, opt Options) (*Result, error)
 	}
 	res.Solves = counting.Solves
 	if opt.ThresholdFactor > 0 {
+		stop := opt.Recorder.Phase("core/threshold")
 		res.Gwt = res.Gw.ThresholdForSparsity(opt.ThresholdFactor * res.Gw.Sparsity())
+		stop()
 	}
 	return res, nil
 }

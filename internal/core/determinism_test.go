@@ -3,12 +3,14 @@ package core_test
 import (
 	"runtime"
 	"testing"
+	"time"
 
 	"subcouple/internal/bem"
 	"subcouple/internal/core"
 	"subcouple/internal/experiments"
 	"subcouple/internal/geom"
 	"subcouple/internal/metrics"
+	"subcouple/internal/obs"
 	"subcouple/internal/solver"
 	"subcouple/internal/sparse"
 	"subcouple/internal/substrate"
@@ -92,6 +94,53 @@ func TestExtractionDeterministicAcrossWorkers(t *testing.T) {
 					}
 				}
 			}
+		}
+	}
+}
+
+// TestRecorderDoesNotChangeOutputs is the observability layer's guarantee:
+// extraction with a live obs.Recorder is bitwise identical — Q, Gw, Gwt,
+// solve count — to a nil-recorder run on the 256-contact benchmark layout,
+// and costs little enough that the instrumented run stays within a generous
+// wall-time factor of the bare one (a loose guard, since single runs on a
+// shared box are noisy).
+func TestRecorderDoesNotChangeOutputs(t *testing.T) {
+	raw := geom.AlternatingGrid(64, 64, 16, 16, 1, 3) // 256 contacts
+	layout, maxLevel := core.Prepare(raw, 4)
+	g := experiments.SyntheticG(layout)
+	for _, method := range []core.Method{core.Wavelet, core.LowRank} {
+		opt := core.Options{Method: method, MaxLevel: maxLevel, ThresholdFactor: 6}
+		run := func(rec *obs.Recorder) (*core.Result, time.Duration) {
+			o := opt
+			o.Recorder = rec
+			start := time.Now()
+			res, err := core.Extract(solver.NewDense(g), layout, o)
+			if err != nil {
+				t.Fatalf("%v: %v", method, err)
+			}
+			return res, time.Since(start)
+		}
+		bare, bareT := run(nil)
+		rec := obs.NewRecorder()
+		live, liveT := run(rec)
+
+		what := method.String()
+		if live.Solves != bare.Solves {
+			t.Errorf("%s: %d solves with recorder vs %d without", what, live.Solves, bare.Solves)
+		}
+		sameMatrix(t, what+" Gw", bare.Gw, live.Gw)
+		sameMatrix(t, what+" Gwt", bare.Gwt, live.Gwt)
+		sameMatrix(t, what+" Q", bare.Q(), live.Q())
+
+		s := rec.Snapshot()
+		if len(s.Phases) == 0 {
+			t.Errorf("%s: recorder saw no phases", what)
+		}
+		if got := s.Counters["solver/solves"]; got != int64(bare.Solves) {
+			t.Errorf("%s: recorder counted %d solves, extraction reports %d", what, got, bare.Solves)
+		}
+		if liveT > 2*bareT+50*time.Millisecond {
+			t.Errorf("%s: instrumented run took %v vs %v bare — recorder overhead too high", what, liveT, bareT)
 		}
 	}
 }

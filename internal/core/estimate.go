@@ -14,7 +14,11 @@ import (
 // vectors are pushed through both the sparse representation and the black
 // box, and the relative operator error ‖(G − QGwQᵀ)x‖/‖Gx‖ is reported.
 type ErrorEstimate struct {
-	Probes  int
+	Probes int
+	// Counted is how many probes actually entered the statistics; probes
+	// whose exact response is identically zero have no defined relative
+	// error and are skipped.
+	Counted int
 	MeanRel float64
 	MaxRel  float64
 }
@@ -22,7 +26,11 @@ type ErrorEstimate struct {
 // EstimateError runs k probe solves against the black box s and compares
 // them with the sparsified operator (using Gw; pass thresholded=true to
 // rate Gwt instead). The probes are random unit voltage vectors with a
-// fixed seed, so estimates are reproducible.
+// fixed seed, so estimates are reproducible; they are issued as one
+// solver.SolveBatch call, so a Parallel-wrapped or natively batching solver
+// answers them concurrently. MeanRel averages over the Counted probes with
+// a nonzero exact response — zero-response probes are excluded from the
+// mean rather than silently deflating it.
 func (r *Result) EstimateError(s solver.Solver, k int, thresholded bool) (ErrorEstimate, error) {
 	if s.N() != r.N() {
 		return ErrorEstimate{}, fmt.Errorf("core: solver has %d contacts, result %d", s.N(), r.N())
@@ -31,18 +39,23 @@ func (r *Result) EstimateError(s solver.Solver, k int, thresholded bool) (ErrorE
 		k = 8
 	}
 	rng := rand.New(rand.NewSource(7))
-	est := ErrorEstimate{Probes: k}
-	var sum float64
-	for p := 0; p < k; p++ {
+	xs := make([][]float64, k)
+	for p := range xs {
 		x := make([]float64, r.N())
 		for i := range x {
 			x[i] = rng.NormFloat64()
 		}
 		la.Scale(1/la.Norm2(x), x)
-		want, err := s.Solve(x)
-		if err != nil {
-			return ErrorEstimate{}, fmt.Errorf("core: probe solve %d: %w", p, err)
-		}
+		xs[p] = x
+	}
+	wants, err := solver.SolveBatch(s, xs)
+	if err != nil {
+		return ErrorEstimate{}, fmt.Errorf("core: probe solves: %w", err)
+	}
+	est := ErrorEstimate{Probes: k}
+	var sum float64
+	for p, x := range xs {
+		want := wants[p]
 		var got []float64
 		if thresholded {
 			got = r.ApplyThresholded(x)
@@ -57,12 +70,15 @@ func (r *Result) EstimateError(s solver.Solver, k int, thresholded bool) (ErrorE
 		if den == 0 {
 			continue
 		}
+		est.Counted++
 		rel := la.Norm2(diff) / den
 		sum += rel
 		if rel > est.MaxRel {
 			est.MaxRel = rel
 		}
 	}
-	est.MeanRel = sum / float64(k)
+	if est.Counted > 0 {
+		est.MeanRel = sum / float64(est.Counted)
+	}
 	return est, nil
 }

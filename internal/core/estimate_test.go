@@ -2,6 +2,8 @@ package core
 
 import (
 	"errors"
+	"math"
+	"math/rand"
 	"testing"
 
 	"subcouple/internal/la"
@@ -47,6 +49,111 @@ func TestEstimateError(t *testing.T) {
 	// Mismatched solver rejected.
 	if _, err := res.EstimateError(solver.NewDense(la.Eye(3)), 4, false); err == nil {
 		t.Fatalf("expected contact-count error")
+	}
+}
+
+// altZeroSolver answers every second probe with an identically-zero
+// current vector and the exact G·x otherwise, and counts how often the
+// batch entry point is used.
+type altZeroSolver struct {
+	g       *la.Dense
+	calls   int
+	batches int
+}
+
+func (a *altZeroSolver) N() int { return a.g.Rows }
+
+func (a *altZeroSolver) Solve(v []float64) ([]float64, error) {
+	zero := a.calls%2 == 1
+	a.calls++
+	if zero {
+		return make([]float64, len(v)), nil
+	}
+	return a.g.MulVec(v), nil
+}
+
+func (a *altZeroSolver) SolveBatch(vs [][]float64) ([][]float64, error) {
+	a.batches++
+	out := make([][]float64, len(vs))
+	for i, v := range vs {
+		r, err := a.Solve(v)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+func TestEstimateErrorSkipsZeroProbesAndBatches(t *testing.T) {
+	layout, g := setup(t)
+	ds := solver.NewDense(g)
+	res, err := Extract(ds, layout, Options{Method: LowRank, MaxLevel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline: all probes countable.
+	base, err := res.EstimateError(ds, 6, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Counted != 6 {
+		t.Fatalf("baseline counted = %d, want 6", base.Counted)
+	}
+
+	alt := &altZeroSolver{g: g}
+	est, err := res.EstimateError(alt, 6, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alt.batches != 1 {
+		t.Fatalf("probe solves used %d batches, want exactly 1 (one-by-one solves?)", alt.batches)
+	}
+	if est.Probes != 6 || est.Counted != 3 {
+		t.Fatalf("probes/counted = %d/%d, want 6/3", est.Probes, est.Counted)
+	}
+	// Probes 1, 3, 5 returned zero responses: rel error is undefined there,
+	// and the mean must average the remaining 3, not divide by 6 (the old
+	// bug halved it). Recompute the expectation exactly: same seed-7 probes,
+	// rel measured only on the even-index (countable) probes.
+	rng := rand.New(rand.NewSource(7))
+	var wantSum, wantMax float64
+	for p := 0; p < 6; p++ {
+		x := make([]float64, res.N())
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		la.Scale(1/la.Norm2(x), x)
+		if p%2 == 1 {
+			continue
+		}
+		want := g.MulVec(x)
+		got := res.Apply(x)
+		diff := make([]float64, len(got))
+		for i := range diff {
+			diff[i] = got[i] - want[i]
+		}
+		rel := la.Norm2(diff) / la.Norm2(want)
+		wantSum += rel
+		if rel > wantMax {
+			wantMax = rel
+		}
+	}
+	if wantMean := wantSum / 3; math.Abs(est.MeanRel-wantMean) > 1e-12*wantMean {
+		t.Fatalf("MeanRel = %g, want %g (divided by k instead of counted?)", est.MeanRel, wantMean)
+	}
+	if math.Abs(est.MaxRel-wantMax) > 1e-12*wantMax {
+		t.Fatalf("MaxRel = %g, want %g", est.MaxRel, wantMax)
+	}
+
+	// Every probe zero: no NaN, just an empty estimate.
+	zero := &altZeroSolver{g: la.NewDense(g.Rows, g.Cols)}
+	estZ, err := res.EstimateError(zero, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if estZ.Counted != 0 || estZ.MeanRel != 0 || estZ.MaxRel != 0 {
+		t.Fatalf("all-zero solver: %+v, want zero estimate", estZ)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"subcouple/internal/la"
 	"subcouple/internal/lowrank"
 	"subcouple/internal/metrics"
+	"subcouple/internal/obs"
 	"subcouple/internal/solver"
 	"subcouple/internal/substrate"
 )
@@ -24,6 +25,12 @@ import (
 // serial. cmd/tables and the benchmark ablations set it from their
 // -workers flag. Results are bitwise-identical for any value.
 var Workers int
+
+// Recorder, when non-nil, is threaded into every extraction and
+// instrumented solver the runners build, so cmd/tables -report can
+// aggregate phase timings and iteration histograms across a whole table
+// run. Recording never changes any table result.
+var Recorder *obs.Recorder
 
 // Case is one thesis example: a layout on the standard substrate.
 type Case struct {
@@ -107,6 +114,7 @@ func BemSolver(c Case) (*bem.Solver, error) {
 	}
 	s.Tol = 1e-6
 	s.Workers = Workers
+	s.SetRecorder(Recorder)
 	return s, nil
 }
 
@@ -181,7 +189,7 @@ func runSparsifySampled(c Case, s solver.Solver, exact *la.Dense, cols []int, me
 	start := time.Now()
 	res, err := core.Extract(s, c.Layout, core.Options{
 		Method: method, MaxLevel: c.MaxLevel, ThresholdFactor: 6, LowRank: lopt,
-		Workers: Workers,
+		Workers: Workers, Recorder: Recorder,
 	})
 	if err != nil {
 		return SparsifyStats{}, fmt.Errorf("extract %s/%v: %w", c.Name, method, err)
@@ -255,7 +263,7 @@ func Table21(scale Scale) ([]PrecondStats, error) {
 			return nil, err
 		}
 		if _, err := core.Extract(s, layout, core.Options{
-			Method: core.Wavelet, MaxLevel: maxLevel, Workers: Workers,
+			Method: core.Wavelet, MaxLevel: maxLevel, Workers: Workers, Recorder: Recorder,
 		}); err != nil {
 			return nil, err
 		}
@@ -300,6 +308,8 @@ func Table22(scale Scale) ([]SolverSpeed, error) {
 		return nil, err
 	}
 	bemS.Tol = 1e-6
+	fdS.SetRecorder(Recorder)
+	bemS.SetRecorder(Recorder)
 	run := func(s solver.Solver) (float64, error) {
 		e := make([]float64, layout.N())
 		start := time.Now()

@@ -23,6 +23,7 @@ import (
 
 	"subcouple/internal/geom"
 	"subcouple/internal/la"
+	"subcouple/internal/obs"
 	"subcouple/internal/par"
 	"subcouple/internal/solver"
 	"subcouple/internal/substrate"
@@ -112,6 +113,8 @@ type Solver struct {
 
 	solves     atomic.Int64
 	totalIters atomic.Int64
+
+	rec *obs.Recorder // PCG iteration histogram + precond-setup phase
 }
 
 // New builds a finite-difference solver. The lateral dimensions and depth of
@@ -359,6 +362,8 @@ func (s *Solver) rhs(v []float64) []float64 {
 // Solve calls would otherwise race on the lazy builds.
 func (s *Solver) ensurePrecond() error {
 	s.initOnce.Do(func() {
+		stop := s.rec.Phase("fd/precond_setup")
+		defer stop()
 		switch s.Opt.Precond {
 		case PrecondIC0:
 			s.buildIC0()
@@ -384,6 +389,7 @@ func (s *Solver) Solve(v []float64) ([]float64, error) {
 	iters, err := s.pcg(x, b)
 	s.solves.Add(1)
 	s.totalIters.Add(int64(iters))
+	s.rec.Observe("fd/pcg_iters", float64(iters))
 	if err != nil {
 		return nil, err
 	}
@@ -392,6 +398,11 @@ func (s *Solver) Solve(v []float64) ([]float64, error) {
 
 // SetWorkers implements solver.WorkerSetter.
 func (s *Solver) SetWorkers(w int) { s.Opt.Workers = w }
+
+// SetRecorder implements obs.RecorderSetter: PCG iteration counts land in
+// the "fd/pcg_iters" histogram and the one-time preconditioner build is
+// timed as phase "fd/precond_setup".
+func (s *Solver) SetRecorder(rec *obs.Recorder) { s.rec = rec }
 
 // SolveBatch implements solver.BatchSolver: independent right-hand sides
 // run as concurrent PCG solves on the worker pool. Each solve is a fully

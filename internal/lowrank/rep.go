@@ -25,6 +25,7 @@ import (
 
 	"subcouple/internal/geom"
 	"subcouple/internal/la"
+	"subcouple/internal/obs"
 	"subcouple/internal/par"
 	"subcouple/internal/quadtree"
 	"subcouple/internal/solver"
@@ -52,6 +53,10 @@ type Options struct {
 	// separation) and is passed down with batched black-box solves;
 	// <= 0 selects runtime.NumCPU(). Results are identical for any value.
 	Workers int
+	// Rec, when non-nil, receives per-phase wall times and solve counters
+	// for the build and the fine-to-coarse transform. Recording never
+	// changes the representation.
+	Rec *obs.Recorder
 }
 
 // DefaultOptions returns the thesis's settings.
@@ -171,6 +176,7 @@ func Build(layout *geom.Layout, tree *quadtree.Tree, s solver.Solver, opt Option
 		opt.RankTol = 0.01
 	}
 	r := &Rep{Layout: layout, Tree: tree, Opt: opt}
+	stopRowBasis := opt.Rec.Phase("lowrank/row_basis")
 	L := tree.MaxLevel
 	r.data = make([][]*squareData, L+1)
 	for lev := 2; lev <= L; lev++ {
@@ -277,7 +283,12 @@ func Build(layout *geom.Layout, tree *quadtree.Tree, s solver.Solver, opt Option
 		}
 	}
 
-	if err := r.buildFinestLocal(s); err != nil {
+	stopRowBasis()
+
+	stopFinest := opt.Rec.Phase("lowrank/finest_local")
+	err := r.buildFinestLocal(s)
+	stopFinest()
+	if err != nil {
 		return nil, err
 	}
 	return r, nil
@@ -313,8 +324,10 @@ func leftBasis(cols [][]float64, ns int, tol float64, cap int) *la.Dense {
 // separation runs on the worker pool; outputs land in per-pending slots so
 // the result is identical for any worker count.
 func (r *Rep) respond(s solver.Solver, lev int, batch []*pending) error {
+	defer r.Opt.Rec.Phase("lowrank/respond")()
 	n := r.Layout.N()
 	if lev == 2 || !r.Opt.CombineSolves {
+		r.Opt.Rec.Add("lowrank/solves_respond", int64(len(batch)))
 		thetas := make([][]float64, len(batch))
 		for i, p := range batch {
 			theta := make([]float64, n)
@@ -404,6 +417,7 @@ func (r *Rep) respond(s solver.Solver, lev int, batch []*pending) error {
 		}
 		thetas = append(thetas, theta)
 	}
+	r.Opt.Rec.Add("lowrank/solves_respond", int64(len(thetas)))
 	ys, err := solver.SolveBatch(s, thetas)
 	if err != nil {
 		return err
@@ -520,6 +534,7 @@ func (r *Rep) buildFinestLocal(s solver.Solver) error {
 		}
 		thetas[gi] = theta
 	}
+	r.Opt.Rec.Add("lowrank/solves_w", int64(len(thetas)))
 	ys, err := solver.SolveBatch(s, thetas)
 	if err != nil {
 		return err

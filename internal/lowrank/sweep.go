@@ -58,6 +58,7 @@ type sweepSquare struct {
 // Transform runs the fine-to-coarse sweep (§4.4). No black-box solves are
 // needed: everything comes from the row-basis representation.
 func (r *Rep) Transform() *Transformed {
+	stopSweep := r.Opt.Rec.Phase("lowrank/sweep")
 	tr := &Transformed{Rep: r}
 	L := r.Tree.MaxLevel
 	tr.tCols = make([][][]int, L+1)
@@ -126,7 +127,11 @@ func (r *Rep) Transform() *Transformed {
 		}
 	}
 
+	stopSweep()
+
+	stopAssemble := r.Opt.Rec.Phase("lowrank/gw_assembly")
 	tr.assembleGw(state)
+	stopAssemble()
 	return tr
 }
 

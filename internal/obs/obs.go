@@ -1,0 +1,183 @@
+// Package obs is the extraction pipeline's zero-dependency observability
+// layer: phase-scoped wall timers, monotonic counters, and fixed-bucket
+// histograms collected behind a *Recorder. Every method is safe on a nil
+// receiver and becomes a no-op, so instrumented code paths carry a recorder
+// unconditionally and pay near-zero overhead when observability is off.
+// Recording never influences the computation it observes — extraction
+// outputs are bitwise identical with a recorder on or off (enforced by the
+// core determinism suite).
+//
+// The recorder is safe for concurrent use: batched solves observe their
+// iteration counts from the worker pool. Phase timers may nest and repeat;
+// each phase accumulates inclusive wall time and a call count.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// histBuckets are the upper bounds of the fixed histogram buckets: powers
+// of two, wide enough for iteration counts and batch sizes alike. The
+// bucket layout is part of the report schema — do not reorder.
+var histBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384}
+
+// Recorder collects phases, counters and histograms for one run.
+type Recorder struct {
+	mu     sync.Mutex
+	phases map[string]*phaseAcc
+	order  []string // phase registration order
+	ctrs   map[string]int64
+	hists  map[string]*histAcc
+}
+
+type phaseAcc struct {
+	calls   int64
+	elapsed time.Duration
+}
+
+type histAcc struct {
+	count    int64
+	sum      float64
+	min, max float64
+	buckets  []int64 // len(histBuckets)+1; last is the +Inf overflow
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		phases: map[string]*phaseAcc{},
+		ctrs:   map[string]int64{},
+		hists:  map[string]*histAcc{},
+	}
+}
+
+// nop is the shared no-op phase closer returned by nil recorders.
+func nop() {}
+
+// Phase starts a wall timer for the named phase and returns the function
+// that stops it. Typical use:
+//
+//	defer rec.Phase("lowrank/sweep")()
+//
+// Phases may nest and repeat; time is inclusive and accumulated per name.
+func (r *Recorder) Phase(name string) func() {
+	if r == nil {
+		return nop
+	}
+	start := time.Now()
+	return func() { r.addPhase(name, time.Since(start)) }
+}
+
+func (r *Recorder) addPhase(name string, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p := r.phases[name]
+	if p == nil {
+		p = &phaseAcc{}
+		r.phases[name] = p
+		r.order = append(r.order, name)
+	}
+	p.calls++
+	p.elapsed += d
+}
+
+// Add increments the named counter by delta.
+func (r *Recorder) Add(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ctrs[name] += delta
+	r.mu.Unlock()
+}
+
+// Observe records one sample into the named histogram.
+func (r *Recorder) Observe(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &histAcc{min: math.Inf(1), max: math.Inf(-1), buckets: make([]int64, len(histBuckets)+1)}
+		r.hists[name] = h
+	}
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	b := sort.SearchFloat64s(histBuckets, v) // first bucket with bound >= v
+	h.buckets[b]++
+}
+
+// Snapshot returns an immutable copy of everything recorded so far, with
+// phases in registration order and counter/histogram names sorted.
+func (r *Recorder) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.ctrs)),
+		Histograms: make(map[string]HistStat, len(r.hists)),
+	}
+	for _, name := range r.order {
+		p := r.phases[name]
+		s.Phases = append(s.Phases, PhaseStat{Name: name, Calls: p.calls, Seconds: p.elapsed.Seconds()})
+	}
+	for name, v := range r.ctrs {
+		s.Counters[name] = v
+	}
+	for name, h := range r.hists {
+		hs := HistStat{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+		if h.count > 0 {
+			hs.Mean = h.sum / float64(h.count)
+		} else {
+			hs.Min, hs.Max = 0, 0
+		}
+		for i, c := range h.buckets {
+			if c == 0 {
+				continue
+			}
+			le := "+Inf"
+			if i < len(histBuckets) {
+				le = formatBound(histBuckets[i])
+			}
+			hs.Buckets = append(hs.Buckets, BucketStat{Le: le, Count: c})
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+func formatBound(v float64) string {
+	// Bounds are small integral powers of two; render without exponents.
+	u := int64(v)
+	digits := [20]byte{}
+	i := len(digits)
+	for u > 0 {
+		i--
+		digits[i] = byte('0' + u%10)
+		u /= 10
+	}
+	if i == len(digits) {
+		return "0"
+	}
+	return string(digits[i:])
+}
+
+// RecorderSetter is implemented by solvers (fd, bem) and adapters that can
+// report into a recorder. core.Extract wires its Options.Recorder through
+// this interface, so instrumented solvers need no extra plumbing.
+type RecorderSetter interface {
+	SetRecorder(*Recorder)
+}

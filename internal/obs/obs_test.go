@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	stop := r.Phase("anything")
+	stop()
+	r.Add("c", 3)
+	r.Observe("h", 1.5)
+	s := r.Snapshot()
+	if len(s.Phases) != 0 || len(s.Counters) != 0 || len(s.Histograms) != 0 {
+		t.Fatalf("nil recorder produced data: %+v", s)
+	}
+}
+
+func TestPhasesAccumulateInOrder(t *testing.T) {
+	r := NewRecorder()
+	stop := r.Phase("b/second")
+	time.Sleep(time.Millisecond)
+	stop()
+	r.Phase("a/first")() // zero-ish duration, registered after b
+	r.Phase("b/second")()
+
+	s := r.Snapshot()
+	if len(s.Phases) != 2 {
+		t.Fatalf("phases = %d, want 2", len(s.Phases))
+	}
+	if s.Phases[0].Name != "b/second" || s.Phases[1].Name != "a/first" {
+		t.Fatalf("phases not in first-use order: %+v", s.Phases)
+	}
+	if s.Phases[0].Calls != 2 {
+		t.Fatalf("b/second calls = %d, want 2", s.Phases[0].Calls)
+	}
+	if s.Phases[0].Seconds <= 0 {
+		t.Fatalf("b/second recorded no time")
+	}
+}
+
+func TestCountersAndHistograms(t *testing.T) {
+	r := NewRecorder()
+	r.Add("solves", 5)
+	r.Add("solves", 2)
+	for _, v := range []float64{1, 1, 2, 3, 100, 1e6} {
+		r.Observe("iters", v)
+	}
+	s := r.Snapshot()
+	if s.Counters["solves"] != 7 {
+		t.Fatalf("solves = %d, want 7", s.Counters["solves"])
+	}
+	h := s.Histograms["iters"]
+	if h.Count != 6 || h.Min != 1 || h.Max != 1e6 {
+		t.Fatalf("hist summary wrong: %+v", h)
+	}
+	want := h.Sum / 6
+	if h.Mean != want {
+		t.Fatalf("mean = %v, want %v", h.Mean, want)
+	}
+	var total int64
+	sawInf := false
+	for _, b := range h.Buckets {
+		total += b.Count
+		if b.Le == "+Inf" {
+			sawInf = true
+			if b.Count != 1 { // only the 1e6 sample overflows
+				t.Fatalf("+Inf bucket count = %d, want 1", b.Count)
+			}
+		}
+	}
+	if total != 6 || !sawInf {
+		t.Fatalf("bucket counts sum to %d (inf seen: %v)", total, sawInf)
+	}
+	// le="1" must hold exactly the two 1.0 samples (bounds are inclusive).
+	if h.Buckets[0].Le != "1" || h.Buckets[0].Count != 2 {
+		t.Fatalf("first bucket = %+v, want le=1 count=2", h.Buckets[0])
+	}
+}
+
+func TestRecorderConcurrentUse(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Phase("p")()
+				r.Add("c", 1)
+				r.Observe("h", float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["c"] != 800 || s.Phases[0].Calls != 800 || s.Histograms["h"].Count != 800 {
+		t.Fatalf("lost updates: %+v", s)
+	}
+}
+
+func validReport() *RunReport {
+	r := NewRecorder()
+	r.Phase("core/extract")()
+	r.Add("solver/solves", 12)
+	r.Observe("solver/batch_size", 12)
+	r.Observe("bem/cg_iters", 9)
+	return &RunReport{
+		Schema: ReportSchema,
+		Tool:   "subx",
+		Config: map[string]any{"method": "lowrank"},
+		Results: map[string]any{
+			"solves": 12, "gw_nnz": 100, "gw_sparsity": 2.5,
+		},
+		Obs: r.Snapshot(),
+	}
+}
+
+func TestValidateRunReport(t *testing.T) {
+	rep := validReport()
+	data, err := rep.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateRunReport(data, true); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+
+	mutate := func(f func(r *RunReport)) []byte {
+		r := validReport()
+		f(r)
+		b, err := r.MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"not json", []byte("nope")},
+		{"bad schema", mutate(func(r *RunReport) { r.Schema = "v0" })},
+		{"no tool", mutate(func(r *RunReport) { r.Tool = "" })},
+		{"no phases", mutate(func(r *RunReport) { r.Obs.Phases = nil })},
+		{"no solves", mutate(func(r *RunReport) { delete(r.Obs.Counters, "solver/solves") })},
+		{"no batch hist", mutate(func(r *RunReport) { delete(r.Obs.Histograms, "solver/batch_size") })},
+		{"no iters hist", mutate(func(r *RunReport) { delete(r.Obs.Histograms, "bem/cg_iters") })},
+		{"no results", mutate(func(r *RunReport) { delete(r.Results, "gw_nnz") })},
+	}
+	for _, c := range cases {
+		if err := ValidateRunReport(c.data, true); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	// Without extraction, missing result keys are fine.
+	if err := ValidateRunReport(mutate(func(r *RunReport) { r.Results = nil }), false); err != nil {
+		t.Fatalf("requireExtraction=false still checked results: %v", err)
+	}
+}
+
+func TestSnapshotJSONStable(t *testing.T) {
+	rep := validReport()
+	a, err := rep.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rep.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("marshal not deterministic")
+	}
+	if !strings.Contains(string(a), `"schema": "subcouple-run-report/v1"`) {
+		t.Fatalf("schema line missing:\n%s", a)
+	}
+	var parsed map[string]json.RawMessage
+	if err := json.Unmarshal(a, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"schema", "tool", "config", "results", "obs"} {
+		if _, ok := parsed[k]; !ok {
+			t.Fatalf("top-level key %q missing", k)
+		}
+	}
+}

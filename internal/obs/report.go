@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// ReportSchema identifies the run-report JSON layout. Bump only with a
+// migration note in DESIGN.md; downstream tooling (cmd/benchreport -check,
+// CI) keys on it.
+const ReportSchema = "subcouple-run-report/v1"
+
+// PhaseStat is one phase's aggregate: how many times it ran and the total
+// inclusive wall time.
+type PhaseStat struct {
+	Name    string  `json:"name"`
+	Calls   int64   `json:"calls"`
+	Seconds float64 `json:"seconds"`
+}
+
+// BucketStat is one occupied histogram bucket. Le is the bucket's upper
+// bound as a decimal string ("1", "2", ... or "+Inf") so the JSON stays
+// valid without NaN/Inf numeric literals.
+type BucketStat struct {
+	Le    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// HistStat summarizes one histogram; only occupied buckets are listed.
+type HistStat struct {
+	Count   int64        `json:"count"`
+	Sum     float64      `json:"sum"`
+	Min     float64      `json:"min"`
+	Max     float64      `json:"max"`
+	Mean    float64      `json:"mean"`
+	Buckets []BucketStat `json:"buckets"`
+}
+
+// Snapshot is the serializable view of a Recorder. Phases keep first-use
+// order (it reads as a timeline); counters and histograms marshal with
+// sorted keys (encoding/json sorts map keys), so the output is stable.
+type Snapshot struct {
+	Phases     []PhaseStat         `json:"phases"`
+	Counters   map[string]int64    `json:"counters"`
+	Histograms map[string]HistStat `json:"histograms"`
+}
+
+// RunReport is the top-level document written by `cmd/subx -report` and
+// `cmd/tables -report`. Config holds the resolved run parameters, Results
+// the end-of-run extraction metrics; both are flat maps so the key set —
+// not Go types — defines the schema, checked by ValidateRunReport and the
+// golden-keys test in cmd/subx.
+type RunReport struct {
+	Schema  string         `json:"schema"`
+	Tool    string         `json:"tool"`
+	Config  map[string]any `json:"config"`
+	Results map[string]any `json:"results"`
+	Obs     Snapshot       `json:"obs"`
+}
+
+// MarshalIndent renders the report as stable, human-diffable JSON.
+func (r *RunReport) MarshalIndent() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// requiredResultKeys are the extraction metrics every full run report must
+// carry.
+var requiredResultKeys = []string{"solves", "gw_nnz", "gw_sparsity"}
+
+// ValidateRunReport parses data and checks the invariants the schema
+// promises: the schema string, a non-empty tool name, at least one timed
+// phase, a solve counter, solver batch-size stats, an iteration histogram
+// from the substrate solver, and — when requireExtraction is set — the
+// extraction result keys. It is the check CI runs against `cmd/subx
+// -report` output.
+func ValidateRunReport(data []byte, requireExtraction bool) error {
+	var r RunReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return fmt.Errorf("run report: not valid JSON: %w", err)
+	}
+	if r.Schema != ReportSchema {
+		return fmt.Errorf("run report: schema %q, want %q", r.Schema, ReportSchema)
+	}
+	if r.Tool == "" {
+		return fmt.Errorf("run report: missing tool name")
+	}
+	if len(r.Obs.Phases) == 0 {
+		return fmt.Errorf("run report: no phases recorded")
+	}
+	for _, p := range r.Obs.Phases {
+		if p.Name == "" || p.Calls <= 0 || p.Seconds < 0 {
+			return fmt.Errorf("run report: malformed phase %+v", p)
+		}
+	}
+	if r.Obs.Counters["solver/solves"] <= 0 {
+		return fmt.Errorf("run report: missing solver/solves counter")
+	}
+	if _, ok := r.Obs.Histograms["solver/batch_size"]; !ok {
+		return fmt.Errorf("run report: missing solver/batch_size histogram")
+	}
+	iters := false
+	for name := range r.Obs.Histograms {
+		if strings.HasSuffix(name, "_iters") {
+			iters = true
+			break
+		}
+	}
+	if !iters {
+		return fmt.Errorf("run report: no *_iters iteration histogram")
+	}
+	if requireExtraction {
+		for _, k := range requiredResultKeys {
+			if _, ok := r.Results[k]; !ok {
+				return fmt.Errorf("run report: missing results key %q", k)
+			}
+		}
+	}
+	return nil
+}

@@ -3,6 +3,7 @@ package solver
 import (
 	"fmt"
 
+	"subcouple/internal/obs"
 	"subcouple/internal/par"
 )
 
@@ -46,6 +47,7 @@ type WorkerSetter interface {
 type parallelSolver struct {
 	s       Solver
 	workers int
+	rec     *obs.Recorder
 }
 
 // Parallel adapts s into a BatchSolver whose SolveBatch runs independent
@@ -53,8 +55,9 @@ type parallelSolver struct {
 // runtime.NumCPU()). Responses are written into slots indexed by
 // right-hand-side position, so the result is bitwise-identical to the
 // serial loop for any worker count. If s already implements BatchSolver its
-// native batching is preferred — wrap only solvers whose Solve is safe to
-// call concurrently.
+// native batching is preferred — except for *Counting, which is counted and
+// then unwrapped so its sequential fallback can never serialize the batch.
+// Wrap only solvers whose Solve is safe to call concurrently.
 func Parallel(s Solver, workers int) BatchSolver {
 	if p, ok := s.(*parallelSolver); ok {
 		s = p.s // re-wrapping just replaces the worker count
@@ -79,14 +82,42 @@ func (p *parallelSolver) AvgIterations() float64 {
 	return 0
 }
 
-// SolveBatch implements BatchSolver.
+// SetRecorder implements obs.RecorderSetter: worker-utilization stats land
+// in rec, and the recorder is forwarded down the chain so instrumented
+// backends (fd, bem, Counting) are wired with one call.
+func (p *parallelSolver) SetRecorder(rec *obs.Recorder) {
+	p.rec = rec
+	if rs, ok := p.s.(obs.RecorderSetter); ok {
+		rs.SetRecorder(rec)
+	}
+}
+
+// SolveBatch implements BatchSolver. A wrapped *Counting is unwrapped here
+// — counted, then bypassed — so the fan-out always happens below the
+// counter. Without this, Counting's own SolveBatch (a sequential Solve loop
+// when the innermost solver is a plain Solver) would swallow the batch and
+// silently serialize it.
 func (p *parallelSolver) SolveBatch(vs [][]float64) ([][]float64, error) {
-	if bs, ok := p.s.(BatchSolver); ok {
+	s := p.s
+	for {
+		if c, ok := s.(*Counting); ok {
+			c.recordBatch(len(vs))
+			s = c.S
+			continue
+		}
+		break
+	}
+	busy := p.workers
+	if len(vs) < busy {
+		busy = len(vs)
+	}
+	p.rec.Observe("solver/busy_workers", float64(busy))
+	if bs, ok := s.(BatchSolver); ok {
 		return bs.SolveBatch(vs)
 	}
 	out := make([][]float64, len(vs))
 	err := par.DoErr(p.workers, len(vs), func(i int) error {
-		r, err := p.s.Solve(vs[i])
+		r, err := s.Solve(vs[i])
 		out[i] = r
 		return err
 	})

@@ -2,7 +2,11 @@ package solver
 
 import (
 	"errors"
+	"sync/atomic"
 	"testing"
+	"time"
+
+	"subcouple/internal/obs"
 )
 
 // stubSolver returns a copy of the input scaled by 2 and errors on a
@@ -116,6 +120,78 @@ func TestCountingSolveBatch(t *testing.T) {
 	}
 	if c.Solves != 8 {
 		t.Fatalf("Solves = %d, want 8", c.Solves)
+	}
+}
+
+// rendezvousSolver is a plain Solver (no BatchSolver) whose Solve blocks
+// until `need` calls are in flight simultaneously. A sequentialized batch
+// never reaches the rendezvous and times out instead, so completing at all
+// proves concurrent execution — even on GOMAXPROCS=1, where the blocked
+// goroutines simply yield.
+type rendezvousSolver struct {
+	n       int
+	need    int32
+	arrived atomic.Int32
+	release chan struct{}
+}
+
+func (s *rendezvousSolver) N() int { return s.n }
+
+func (s *rendezvousSolver) Solve(v []float64) ([]float64, error) {
+	if s.arrived.Add(1) == s.need {
+		close(s.release)
+	}
+	select {
+	case <-s.release:
+	case <-time.After(5 * time.Second):
+		return nil, errors.New("rendezvous timeout: batch ran sequentially")
+	}
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out, nil
+}
+
+func TestParallelCountingPlainSolverRunsConcurrently(t *testing.T) {
+	const k = 4
+	inner := &rendezvousSolver{n: 3, need: k, release: make(chan struct{})}
+	c := NewCounting(inner)
+	p := Parallel(c, k)
+	got, err := p.SolveBatch(batchOf(3, k))
+	if err != nil {
+		t.Fatalf("batch did not run concurrently: %v", err)
+	}
+	if len(got) != k {
+		t.Fatalf("got %d responses, want %d", len(got), k)
+	}
+	for i, v := range batchOf(3, k) {
+		for j := range v {
+			if got[i][j] != v[j] {
+				t.Fatalf("slot %d corrupted", i)
+			}
+		}
+	}
+	if c.Solves != k {
+		t.Fatalf("Solves = %d, want %d (unwrapping lost the count)", c.Solves, k)
+	}
+}
+
+func TestParallelCountingRecordsBatchStats(t *testing.T) {
+	rec := obs.NewRecorder()
+	c := NewCounting(&stubSolver{n: 3})
+	p := Parallel(c, 2)
+	p.(interface{ SetRecorder(*obs.Recorder) }).SetRecorder(rec)
+	if _, err := p.SolveBatch(batchOf(3, 5)); err != nil {
+		t.Fatal(err)
+	}
+	s := rec.Snapshot()
+	if s.Counters["solver/solves"] != 5 || s.Counters["solver/batches"] != 1 {
+		t.Fatalf("counters wrong: %+v", s.Counters)
+	}
+	if h := s.Histograms["solver/batch_size"]; h.Count != 1 || h.Max != 5 {
+		t.Fatalf("batch_size hist wrong: %+v", h)
+	}
+	if h := s.Histograms["solver/busy_workers"]; h.Count != 1 || h.Max != 2 {
+		t.Fatalf("busy_workers hist wrong: %+v", h)
 	}
 }
 

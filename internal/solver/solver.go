@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"subcouple/internal/la"
+	"subcouple/internal/obs"
 )
 
 // Solver is the black-box contact-voltages-to-contact-currents map.
@@ -31,10 +32,12 @@ type IterationReporter interface {
 // Counting wraps a Solver and counts black-box calls, the currency of the
 // thesis's solve-reduction factor. Increments are mutex-guarded so a
 // Counting may sit below a Parallel adapter; read Solves only when no
-// solves are in flight (i.e. after the extraction returns).
+// solves are in flight (i.e. after the extraction returns). Set Rec to also
+// stream solve counts and batch-size stats into an obs.Recorder.
 type Counting struct {
 	S      Solver
 	Solves int
+	Rec    *obs.Recorder
 
 	mu sync.Mutex
 }
@@ -48,20 +51,48 @@ func (c *Counting) N() int { return c.S.N() }
 // Solve implements Solver, incrementing the call counter.
 func (c *Counting) Solve(v []float64) ([]float64, error) {
 	c.add(1)
+	c.Rec.Add("solver/solves", 1)
 	return c.S.Solve(v)
 }
 
 // SolveBatch implements BatchSolver: a batch of k right-hand sides counts
 // as k black-box calls regardless of how the wrapped solver executes them.
 func (c *Counting) SolveBatch(vs [][]float64) ([][]float64, error) {
-	c.add(len(vs))
+	c.recordBatch(len(vs))
 	return SolveBatch(c.S, vs)
+}
+
+// recordBatch counts a k-solve batch. It is also called by the Parallel
+// adapter when it unwraps a Counting to fan the batch out itself, so the
+// count stays exact on that path too.
+func (c *Counting) recordBatch(k int) {
+	c.add(k)
+	c.Rec.Add("solver/solves", int64(k))
+	c.Rec.Add("solver/batches", 1)
+	c.Rec.Observe("solver/batch_size", float64(k))
 }
 
 func (c *Counting) add(k int) {
 	c.mu.Lock()
 	c.Solves += k
 	c.mu.Unlock()
+}
+
+// SetRecorder implements obs.RecorderSetter, forwarding to the wrapped
+// solver so a whole chain is wired with one call.
+func (c *Counting) SetRecorder(rec *obs.Recorder) {
+	c.Rec = rec
+	if rs, ok := c.S.(obs.RecorderSetter); ok {
+		rs.SetRecorder(rec)
+	}
+}
+
+// SetWorkers implements WorkerSetter by forwarding to the wrapped solver,
+// so a Counting anywhere in a chain is transparent to the worker knob.
+func (c *Counting) SetWorkers(w int) {
+	if ws, ok := c.S.(WorkerSetter); ok {
+		ws.SetWorkers(w)
+	}
 }
 
 // AvgIterations passes through the wrapped solver's iteration statistics.

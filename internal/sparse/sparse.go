@@ -123,17 +123,23 @@ func (m *Matrix) Threshold(t float64) *Matrix {
 	return out
 }
 
-// ThresholdForSparsity binary-searches a threshold so the result has
-// approximately the target sparsity factor (n²/nnz ≈ target, within 10%),
-// and returns the thresholded matrix. This is how the thesis builds Gwt
-// ("the truncation threshold [chosen] so that Gwt would be approximately 6
-// times sparser ... binary search was used").
+// ThresholdForSparsity keeps at most the k = rows·cols/target
+// largest-magnitude entries, so the result's sparsity factor rows·cols/nnz
+// is at least target. This is how the thesis builds Gwt ("the truncation
+// threshold [chosen] so that Gwt would be approximately 6 times sparser").
+//
+// Entries with magnitude strictly above the cutoff abs[len-k] are always
+// kept. Entries tying the cutoff — pervasive here, because the extraction
+// writes every off-diagonal Gw entry together with an equal-valued (j,i)
+// twin — are admitted deterministically in CSR order until the k-entry
+// budget runs out, as whole (i,j)/(j,i) units whenever the transposed entry
+// ties too, so a symmetric input stays symmetric. Keeping every tie (as a
+// plain magnitude threshold would) can come back far denser than target
+// when values repeat.
 func (m *Matrix) ThresholdForSparsity(target float64) *Matrix {
 	if m.Sparsity() >= target || m.NNZ() == 0 {
 		return m
 	}
-	// Work on sorted absolute values: keeping the k largest entries gives
-	// sparsity rows*cols/k, so pick k directly.
 	abs := make([]float64, len(m.Val))
 	for i, v := range m.Val {
 		abs[i] = math.Abs(v)
@@ -147,7 +153,57 @@ func (m *Matrix) ThresholdForSparsity(target float64) *Matrix {
 		return m
 	}
 	t := abs[len(abs)-k]
-	return m.Threshold(t)
+	// All entries strictly above t sit in the sorted top-k tail; whatever
+	// remains of the k-entry budget is handed out to ties on t.
+	above := 0
+	for _, a := range abs[len(abs)-k:] {
+		if a > t {
+			above++
+		}
+	}
+	budget := k - above
+	keepTie := make(map[[2]int]bool)
+	for r := 0; r < m.Rows && budget > 0; r++ {
+		for p := m.RowPtr[r]; p < m.RowPtr[r+1] && budget > 0; p++ {
+			c := m.ColIdx[p]
+			if math.Abs(m.Val[p]) != t {
+				continue
+			}
+			// A tied entry whose transposed twin also ties is admitted (or
+			// not) as a unit, decided at the upper-triangle member.
+			twin := r != c && c < m.Rows && r < m.Cols && math.Abs(m.At(c, r)) == t
+			if twin && r > c {
+				continue
+			}
+			unit := 1
+			if twin {
+				unit = 2
+			}
+			if budget < unit {
+				continue // a later size-1 tie may still fit
+			}
+			keepTie[[2]int{r, c}] = true
+			if twin {
+				keepTie[[2]int{c, r}] = true
+			}
+			budget -= unit
+		}
+	}
+	out := &Matrix{Rows: m.Rows, Cols: m.Cols, RowPtr: make([]int, m.Rows+1)}
+	for r := 0; r < m.Rows; r++ {
+		for p := m.RowPtr[r]; p < m.RowPtr[r+1]; p++ {
+			a := math.Abs(m.Val[p])
+			if a > t || (a == t && keepTie[[2]int{r, m.ColIdx[p]}]) {
+				out.ColIdx = append(out.ColIdx, m.ColIdx[p])
+				out.Val = append(out.Val, m.Val[p])
+				out.RowPtr[r+1]++
+			}
+		}
+	}
+	for r := 0; r < m.Rows; r++ {
+		out.RowPtr[r+1] += out.RowPtr[r]
+	}
+	return out
 }
 
 // At returns entry (r,c) (zero when not stored; linear scan of the row).

@@ -101,6 +101,61 @@ func TestThresholdForSparsity(t *testing.T) {
 	}
 }
 
+func TestThresholdForSparsityTies(t *testing.T) {
+	// Worst case for tie handling: every off-diagonal entry has the same
+	// magnitude (symmetric twins included), so the cutoff ties with nearly
+	// the whole matrix. A plain magnitude threshold keeps everything and
+	// overshoots the target density; the fix must stay within budget.
+	n := 16
+	var ts []Triplet
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := 1.0
+			if i == j {
+				v = 10
+			}
+			ts = append(ts, Triplet{i, j, v})
+		}
+	}
+	m := FromTriplets(n, n, ts)
+	target := 4.0
+	k := n * n / int(target)
+	th := m.ThresholdForSparsity(target)
+	if th.NNZ() > k {
+		t.Fatalf("ties overshot the budget: nnz = %d, want <= %d", th.NNZ(), k)
+	}
+	if th.Sparsity() < target {
+		t.Fatalf("sparsity %g below target %g", th.Sparsity(), target)
+	}
+	// Everything strictly above the cutoff survives.
+	for i := 0; i < n; i++ {
+		if th.At(i, i) != 10 {
+			t.Fatalf("diagonal entry (%d,%d) dropped", i, i)
+		}
+	}
+	// Symmetric input stays symmetric: ties are admitted in (i,j)/(j,i)
+	// units, never split.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if th.At(i, j) != th.At(j, i) {
+				t.Fatalf("symmetry broken at (%d,%d): %g vs %g", i, j, th.At(i, j), th.At(j, i))
+			}
+		}
+	}
+	// Deterministic: two calls agree exactly.
+	th2 := m.ThresholdForSparsity(target)
+	if th.NNZ() != th2.NNZ() {
+		t.Fatalf("nondeterministic tie admission: %d vs %d", th.NNZ(), th2.NNZ())
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if th.At(i, j) != th2.At(i, j) {
+				t.Fatalf("nondeterministic entry (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
 func TestSymmetrize(t *testing.T) {
 	m := FromTriplets(2, 2, []Triplet{{0, 1, 2}})
 	s := m.Symmetrize()

@@ -19,6 +19,7 @@ import (
 	"subcouple/internal/geom"
 	"subcouple/internal/la"
 	"subcouple/internal/moments"
+	"subcouple/internal/obs"
 	"subcouple/internal/par"
 	"subcouple/internal/quadtree"
 	"subcouple/internal/sparse"
@@ -70,6 +71,8 @@ type Basis struct {
 	facFinest map[int]*la.Dense
 	facCoarse map[int]*la.Dense
 	facVCols  map[int]int
+
+	rec *obs.Recorder // phase timers + solve counters; nil = no-op
 }
 
 // NewBasis builds the wavelet basis for a layout already split so that no
@@ -86,11 +89,20 @@ func NewBasis(layout *geom.Layout, tree *quadtree.Tree, p int) (*Basis, error) {
 // the splits are stitched into Q serially in square order, so the basis is
 // bitwise-identical for any worker count.
 func NewBasisWorkers(layout *geom.Layout, tree *quadtree.Tree, p, workers int) (*Basis, error) {
+	return NewBasisRec(layout, tree, p, workers, nil)
+}
+
+// NewBasisRec is NewBasisWorkers with an obs.Recorder: the build is timed
+// as phase "wavelet/basis" and later extraction calls on the returned basis
+// report their phases and solve counters into rec. A nil rec records
+// nothing.
+func NewBasisRec(layout *geom.Layout, tree *quadtree.Tree, p, workers int, rec *obs.Recorder) (*Basis, error) {
+	defer rec.Phase("wavelet/basis")()
 	if p < 0 {
 		return nil, fmt.Errorf("wavelet: moment order must be >= 0")
 	}
 	b := &Basis{Layout: layout, Tree: tree, P: p, RankTol: 1e-9,
-		facFinest: map[int]*la.Dense{}, facCoarse: map[int]*la.Dense{}, facVCols: map[int]int{}}
+		facFinest: map[int]*la.Dense{}, facCoarse: map[int]*la.Dense{}, facVCols: map[int]int{}, rec: rec}
 	L := tree.MaxLevel
 	b.wCols = make([][][]int, L+1)
 	b.maxWAt = make([]int, L+1)

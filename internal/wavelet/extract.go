@@ -41,6 +41,7 @@ func (b *Basis) ExtractCombined(s solver.Solver) (*sparse.Matrix, error) {
 	if s.N() != b.N() {
 		return nil, fmt.Errorf("wavelet: solver has %d contacts, basis %d", s.N(), b.N())
 	}
+	defer b.rec.Phase("wavelet/extract")()
 	em := newEntryMap(b.N())
 
 	// Every black-box call of the algorithm is independent of every other,
@@ -120,6 +121,8 @@ func (b *Basis) ExtractCombined(s solver.Solver) (*sparse.Matrix, error) {
 		}
 	}
 
+	b.rec.Add("wavelet/solves_direct", int64(len(direct)))
+	b.rec.Add("wavelet/solves_combined", int64(len(combs)))
 	ys, err := solver.SolveBatch(s, rhs)
 	if err != nil {
 		return nil, err
@@ -149,7 +152,9 @@ func (b *Basis) ExtractDirect(s solver.Solver) (*sparse.Matrix, error) {
 	if s.N() != b.N() {
 		return nil, fmt.Errorf("wavelet: solver has %d contacts, basis %d", s.N(), b.N())
 	}
+	defer b.rec.Phase("wavelet/extract")()
 	n := b.N()
+	b.rec.Add("wavelet/solves_direct", int64(n))
 	resp := make([][]float64, n)
 	// Chunked batches keep the in-flight right-hand sides bounded while
 	// still feeding a parallel solver; slot-indexed responses keep the
