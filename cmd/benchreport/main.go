@@ -9,18 +9,28 @@
 //
 //	benchreport [-short] [-reps 3] [-out BENCH_extract.json]
 //	benchreport -check run.json   # validate a subx/tables -report file
+//	benchreport -diff -tol 0.15 old.json new.json   # perf-regression gate
 //
 // -short shrinks the case to 64 contacts so CI can exercise regeneration
 // cheaply; the committed file is produced by a full (non-short) run.
+//
+// -diff compares two benchmark files and exits nonzero when any shared
+// configuration got slower than old × (1+tol), or when solve counts diverge
+// on the same case — the CI gate that turns BENCH_extract.json from a
+// snapshot into a guarded trajectory. Files for different cases (e.g. the
+// committed full run vs a -short CI run) compare informationally: mismatched
+// solve counts only warn.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"subcouple/internal/core"
@@ -63,6 +73,8 @@ func main() {
 	short := flag.Bool("short", false, "use the 64-contact case (fast; for CI)")
 	reps := flag.Int("reps", 3, "timed repetitions per configuration")
 	check := flag.String("check", "", "validate a run report written by subx/tables -report, then exit")
+	diff := flag.Bool("diff", false, "compare two benchmark files (old.json new.json as positional args) and exit nonzero on regression")
+	tol := flag.Float64("tol", 0.15, "with -diff: allowed fractional slowdown before failing (0.15 = 15%)")
 	flag.Parse()
 	log.SetFlags(log.Ltime)
 
@@ -71,6 +83,15 @@ func main() {
 			log.Fatalf("check %s: %v", *check, err)
 		}
 		log.Printf("%s: valid run report", *check)
+		return
+	}
+	if *diff {
+		if flag.NArg() != 2 {
+			log.Fatalf("-diff needs exactly two positional args: old.json new.json")
+		}
+		if err := diffFiles(os.Stdout, flag.Arg(0), flag.Arg(1), *tol); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 	if err := run(*out, *short, *reps); err != nil {
@@ -92,6 +113,92 @@ func checkReport(path string) error {
 		return err
 	}
 	return obs.ValidateRunReport(data, r.Tool == "subx")
+}
+
+// loadBench reads and schema-checks one benchmark file.
+func loadBench(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc benchFile
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.Schema != benchSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, doc.Schema, benchSchema)
+	}
+	return &doc, nil
+}
+
+// diffFiles implements -diff: compare newPath against oldPath and return an
+// error (→ nonzero exit) when a shared configuration regressed.
+func diffFiles(w io.Writer, oldPath, newPath string, tol float64) error {
+	oldDoc, err := loadBench(oldPath)
+	if err != nil {
+		return err
+	}
+	newDoc, err := loadBench(newPath)
+	if err != nil {
+		return err
+	}
+	regs := diffBench(w, oldDoc, newDoc, tol)
+	if len(regs) > 0 {
+		return fmt.Errorf("benchmark regression vs %s:\n  %s", oldPath, strings.Join(regs, "\n  "))
+	}
+	return nil
+}
+
+// diffBench compares configurations shared by name and returns the list of
+// regressions. A configuration regresses when its best-of time exceeds
+// old × (1+tol), or when its solve count changes at all (solve counts are
+// deterministic, so any drift is an algorithm change, not noise). Both
+// checks require the two files to describe the same case — when they differ
+// (e.g. the committed full-size file against a -short CI run) every
+// comparison is informational only, so the gate can be wired into CI before
+// the committed file is regenerated.
+func diffBench(w io.Writer, oldDoc, newDoc *benchFile, tol float64) []string {
+	sameCase := oldDoc.Case == newDoc.Case && oldDoc.Contacts == newDoc.Contacts
+	if !sameCase {
+		fmt.Fprintf(w, "cases differ (%s/%d vs %s/%d contacts): informational comparison only\n",
+			oldDoc.Case, oldDoc.Contacts, newDoc.Case, newDoc.Contacts)
+	}
+	oldRows := make(map[string]benchRow, len(oldDoc.Benchmarks))
+	for _, r := range oldDoc.Benchmarks {
+		oldRows[r.Name] = r
+	}
+	var regressions []string
+	for _, nr := range newDoc.Benchmarks {
+		or, ok := oldRows[nr.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-16s new configuration, no baseline\n", nr.Name)
+			continue
+		}
+		var ratio float64
+		if or.SecondsPerOp > 0 {
+			ratio = nr.SecondsPerOp / or.SecondsPerOp
+		}
+		status := "ok"
+		if sameCase {
+			if nr.SecondsPerOp > or.SecondsPerOp*(1+tol) {
+				status = "REGRESSION"
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %.3fs/op -> %.3fs/op (%.2fx, tol %.0f%%)",
+						nr.Name, or.SecondsPerOp, nr.SecondsPerOp, ratio, 100*tol))
+			}
+			if nr.Solves != or.Solves {
+				status = "REGRESSION"
+				regressions = append(regressions,
+					fmt.Sprintf("%s: solve count %d -> %d", nr.Name, or.Solves, nr.Solves))
+			}
+		} else if nr.Solves != or.Solves {
+			fmt.Fprintf(w, "%-16s solve count %d -> %d (different case, not gated)\n",
+				nr.Name, or.Solves, nr.Solves)
+		}
+		fmt.Fprintf(w, "%-16s %8.3fs/op -> %8.3fs/op  (%.2fx)  solves %d -> %d  %s\n",
+			nr.Name, or.SecondsPerOp, nr.SecondsPerOp, ratio, or.Solves, nr.Solves, status)
+	}
+	return regressions
 }
 
 func run(out string, short bool, reps int) error {
@@ -164,7 +271,8 @@ func run(out string, short bool, reps int) error {
 				"gw_nnz":          res.Gw.NNZ(),
 				"gw_sparsity":     res.Gw.Sparsity(),
 			},
-			Obs: rec.Snapshot(),
+			Obs:      rec.Snapshot(),
+			Numerics: rec.Numerics(),
 		},
 	}
 	data, err := json.MarshalIndent(&doc, "", "  ")

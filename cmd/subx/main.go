@@ -24,6 +24,8 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"subcouple/internal/bem"
 	"subcouple/internal/core"
@@ -60,21 +62,26 @@ func run(args []string, out io.Writer) error {
 		save       = fs.String("save", "", "write the extracted model (gob) to this file")
 		probes     = fs.Int("probes", 0, "stochastic error estimate with this many probe solves")
 		workers    = fs.Int("workers", 0, "worker pool size for parallel extraction (0 = all CPUs, 1 = serial); results are identical for any value")
-		report     = fs.String("report", "", "write a JSON run report (phase timings, solve counts, iteration histograms, result metrics) to this file")
+		report     = fs.String("report", "", "write a JSON run report (phase timings, solve counts, iteration histograms, numerics, result metrics) to this file")
+		tracePath  = fs.String("trace", "", "write a Chrome trace-event JSON span trace (open at https://ui.perfetto.dev) to this file")
 		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof and expvar (incl. the live run report under /debug/vars) on this address while running")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	// Observability: a recorder exists only when something will read it —
-	// extraction outputs are bitwise identical either way.
+	// Observability: a recorder/tracer exists only when something will read
+	// it — extraction outputs are bitwise identical either way.
 	var rec *obs.Recorder
 	if *report != "" || *pprofAddr != "" {
 		rec = obs.NewRecorder()
 	}
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer(0)
+	}
 	if *pprofAddr != "" {
-		expvar.Publish("subcouple", expvar.Func(func() any { return rec.Snapshot() }))
+		publishExpvars(rec)
 		go func() {
 			log.Printf("pprof/expvar listening on http://%s/debug/pprof", *pprofAddr)
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
@@ -144,10 +151,15 @@ func run(args []string, out io.Writer) error {
 	}
 	res, err := core.Extract(s, layout, core.Options{
 		Method: m, MaxLevel: maxLevel, ThresholdFactor: *threshold, Workers: *workers,
-		Recorder: rec,
+		Recorder: rec, Tracer: tracer,
 	})
 	if err != nil {
 		return fmt.Errorf("extract: %w", err)
+	}
+	if tracer != nil {
+		// Span overflow folds into the report's drop counters — a trace that
+		// lost spans is labeled as such, never silently truncated.
+		rec.Drop("obs/spans_dropped", tracer.Dropped())
 	}
 
 	// 4. Report.
@@ -209,6 +221,21 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintln(out, "Gwt spy plot:")
 			fmt.Fprintln(out, render.Spy(res.GwReordered(true), 72))
 		}
+	}
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		if err := tracer.WriteTrace(f); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		log.Printf("trace with %d spans (%d dropped) written to %s; open at https://ui.perfetto.dev",
+			tracer.SpanCount(), tracer.Dropped(), *tracePath)
 	}
 
 	if *report != "" {
@@ -281,7 +308,24 @@ func buildReport(rec *obs.Recorder, res *core.Result, est *core.ErrorEstimate, c
 			"contacts":  cfg.Contacts,
 			"num_cpu":   runtime.NumCPU(),
 		},
-		Results: results,
-		Obs:     rec.Snapshot(),
+		Results:  results,
+		Obs:      rec.Snapshot(),
+		Numerics: rec.Numerics(),
 	}
+}
+
+// Live expvar publication: expvar.Publish panics on duplicate names and run()
+// is re-entered by tests, so registration happens once and the published
+// function reads the current recorder through an atomic pointer. Every scrape
+// re-snapshots, so a long run shows live phase progress under /debug/vars.
+var (
+	expvarOnce sync.Once
+	expvarRec  atomic.Pointer[obs.Recorder]
+)
+
+func publishExpvars(rec *obs.Recorder) {
+	expvarRec.Store(rec)
+	expvarOnce.Do(func() {
+		expvar.Publish("subcouple", expvar.Func(func() any { return expvarRec.Load().Snapshot() }))
+	})
 }

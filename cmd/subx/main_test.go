@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"expvar"
 	"flag"
 	"os"
 	"path/filepath"
@@ -56,6 +57,17 @@ func reportKeys(t *testing.T, data []byte) map[string][]string {
 	}
 	for _, p := range r.Obs.Phases {
 		keys["phases"] = append(keys["phases"], p.Name)
+	}
+	if r.Numerics != nil {
+		for k := range r.Numerics.Residuals {
+			keys["residuals"] = append(keys["residuals"], k)
+		}
+		for k := range r.Numerics.Ranks {
+			keys["ranks"] = append(keys["ranks"], k)
+		}
+		for k := range r.Numerics.Drops {
+			keys["drops"] = append(keys["drops"], k)
+		}
 	}
 	for _, v := range keys {
 		sort.Strings(v)
@@ -127,6 +139,143 @@ func TestReportDeterministicResults(t *testing.T) {
 	}
 	if !bytes.Equal(r1, r2) {
 		t.Fatalf("results sections differ:\n%s\n%s", r1, r2)
+	}
+}
+
+// TestTraceOutput runs a parallel extraction with -trace and checks the
+// written file is a loadable Chrome trace: named main/worker tracks (at
+// least three rows under -workers 4), per-square spans from the
+// sparsification method, and solve spans carrying numerical-health args.
+func TestTraceOutput(t *testing.T) {
+	tmp := filepath.Join(t.TempDir(), "trace.json")
+	var out bytes.Buffer
+	args := []string{
+		"-layout", "alternating", "-n", "16", "-surface", "64",
+		"-method", "lowrank", "-workers", "4", "-trace", tmp,
+	}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("subx run: %v", err)
+	}
+	data, err := os.ReadFile(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		OtherData map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if got := doc.OtherData["spans_dropped"]; got != float64(0) {
+		t.Fatalf("spans_dropped = %v, want 0", got)
+	}
+	tracks := map[int]bool{}
+	spanNames := map[string]int{}
+	solveArgs := false
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		tracks[e.Tid] = true
+		spanNames[e.Name]++
+		if e.Name == "bem/solve" {
+			if _, ok := e.Args["cg_iters"]; ok {
+				if _, ok := e.Args["final_rel"]; ok {
+					solveArgs = true
+				}
+			}
+		}
+	}
+	if len(tracks) < 3 {
+		t.Errorf("trace has %d tracks, want >= 3 under -workers 4", len(tracks))
+	}
+	for _, name := range []string{"core/extract", "lowrank/row_basis", "lowrank/sweep_square", "bem/solve"} {
+		if spanNames[name] == 0 {
+			t.Errorf("no %q spans in trace (have %v)", name, spanNames)
+		}
+	}
+	if !solveArgs {
+		t.Errorf("no bem/solve span carries cg_iters/final_rel args")
+	}
+}
+
+// TestWaveletTraceHasPerSquareSpans covers the other method's
+// instrumentation: the wavelet path must emit per-square split/recombine
+// spans and combined-extraction class spans.
+func TestWaveletTraceHasPerSquareSpans(t *testing.T) {
+	tmp := filepath.Join(t.TempDir(), "trace.json")
+	var out bytes.Buffer
+	args := []string{
+		"-layout", "regular", "-n", "16", "-surface", "64",
+		"-method", "wavelet", "-workers", "4", "-trace", tmp,
+	}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("subx run: %v", err)
+	}
+	data, err := os.ReadFile(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	spanNames := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			spanNames[e.Name]++
+		}
+	}
+	for _, name := range []string{"wavelet/split", "wavelet/recombine", "wavelet/class"} {
+		if spanNames[name] == 0 {
+			t.Errorf("no %q spans in wavelet trace (have %v)", name, spanNames)
+		}
+	}
+}
+
+// TestExpvarSnapshotIsLive pins the -pprof expvar contract: the published
+// "subcouple" variable re-snapshots the current recorder on every read, and
+// follows recorder swaps (run() is re-entered by tests and long runs want
+// live progress, not the state at publish time).
+func TestExpvarSnapshotIsLive(t *testing.T) {
+	rec := obs.NewRecorder()
+	publishExpvars(rec)
+	v := expvar.Get("subcouple")
+	if v == nil {
+		t.Fatal("subcouple expvar not published")
+	}
+	read := func() obs.Snapshot {
+		var s obs.Snapshot
+		if err := json.Unmarshal([]byte(v.String()), &s); err != nil {
+			t.Fatalf("expvar value does not parse: %v", err)
+		}
+		return s
+	}
+	if got := read().Counters["solver/solves"]; got != 0 {
+		t.Fatalf("fresh recorder shows %d solves", got)
+	}
+	rec.Add("solver/solves", 5)
+	if got := read().Counters["solver/solves"]; got != 5 {
+		t.Fatalf("scrape after recording shows %d solves, want 5 (snapshot not live)", got)
+	}
+	// A second publish (a later run()) must swap the backing recorder
+	// without panicking on duplicate registration.
+	rec2 := obs.NewRecorder()
+	rec2.Add("solver/solves", 7)
+	publishExpvars(rec2)
+	if got := read().Counters["solver/solves"]; got != 7 {
+		t.Fatalf("scrape after recorder swap shows %d solves, want 7", got)
 	}
 }
 

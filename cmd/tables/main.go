@@ -38,11 +38,15 @@ func main() {
 	large := flag.Bool("large", false, "include the 10240-contact Example 5 (slow)")
 	workers := flag.Int("workers", 0, "worker pool size for parallel extraction (0 = all CPUs, 1 = serial); results are identical for any value")
 	report := flag.String("report", "", "write a JSON run report aggregating phase timings and iteration histograms across the run to this file")
+	trace := flag.String("trace", "", "write a Chrome trace-event JSON file spanning the whole run to this file (open in Perfetto or chrome://tracing)")
 	flag.Parse()
 	log.SetFlags(log.Ltime)
 	experiments.Workers = *workers
 	if *report != "" {
 		experiments.Recorder = obs.NewRecorder()
+	}
+	if *trace != "" {
+		experiments.Tracer = obs.NewTracer(0)
 	}
 
 	scale := experiments.Full
@@ -70,12 +74,33 @@ func main() {
 		log.Printf("Table 4.2 is printed together with 4.1 (run -table 4.1)")
 	}
 
+	if *trace != "" {
+		experiments.Recorder.Drop("obs/spans_dropped", experiments.Tracer.Dropped())
+		if err := writeTrace(*trace, experiments.Tracer); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		log.Printf("trace with %d spans written to %s (open at https://ui.perfetto.dev)",
+			experiments.Tracer.SpanCount(), *trace)
+	}
 	if *report != "" {
 		if err := writeReport(*report, *table, *small, *large, *workers); err != nil {
 			log.Fatalf("report: %v", err)
 		}
 		log.Printf("run report written to %s", *report)
 	}
+}
+
+// writeTrace dumps every span of the run as Chrome trace-event JSON.
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeReport dumps the run-wide recorder — phases, solve counters and
@@ -92,8 +117,9 @@ func writeReport(path, table string, small, large bool, workers int) error {
 			"large":   large,
 			"workers": workers,
 		},
-		Results: map[string]any{},
-		Obs:     experiments.Recorder.Snapshot(),
+		Results:  map[string]any{},
+		Obs:      experiments.Recorder.Snapshot(),
+		Numerics: experiments.Recorder.Numerics(),
 	}
 	data, err := rep.MarshalIndent()
 	if err != nil {

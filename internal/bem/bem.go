@@ -48,6 +48,7 @@ type Solver struct {
 	totalIters atomic.Int64
 
 	rec *obs.Recorder // CG/PCG iteration histogram
+	tr  *obs.Tracer   // per-solve spans with convergence args
 }
 
 // New builds a solver for the layout on the profile with an np-by-np panel
@@ -121,9 +122,23 @@ func (s *Solver) applyAcc(q, y, field []float64) {
 
 // Solve implements solver.Solver: contact voltages in, contact currents out.
 func (s *Solver) Solve(v []float64) ([]float64, error) {
+	return s.solveOn(nil, 0, v)
+}
+
+// solveOn is Solve with trace placement: the emitted "bem/solve" span nests
+// under parent (nil = a root span) on the given track, carrying the CG
+// iteration count and final relative residual as args. Observability only —
+// the solve itself is identical with tracing on or off.
+func (s *Solver) solveOn(parent *obs.Span, track int, v []float64) ([]float64, error) {
 	n := s.N()
 	if len(v) != n {
 		return nil, fmt.Errorf("bem: voltage vector length %d, want %d", len(v), n)
+	}
+	var sp *obs.Span
+	if parent != nil {
+		sp = parent.ChildOn(track, "bem/solve")
+	} else {
+		sp = s.tr.BeginOn(track, "bem/solve")
 	}
 	m := len(s.panels)
 	b := make([]float64, m)
@@ -132,15 +147,18 @@ func (s *Solver) Solve(v []float64) ([]float64, error) {
 	}
 	q := make([]float64, m)
 	var iters int
+	var rel float64
 	var err error
 	if s.usePrecond {
-		iters, err = s.pcg(q, b)
+		iters, rel, err = s.pcg(q, b)
 	} else {
-		iters, err = s.cg(q, b)
+		iters, rel, err = s.cg(q, b)
 	}
 	s.solves.Add(1)
 	s.totalIters.Add(int64(iters))
 	s.rec.Observe("bem/cg_iters", float64(iters))
+	s.rec.Residual("bem/cg_final_rel", rel)
+	sp.Arg("cg_iters", iters).Arg("final_rel", rel).End()
 	if err != nil {
 		return nil, err
 	}
@@ -155,20 +173,27 @@ func (s *Solver) Solve(v []float64) ([]float64, error) {
 func (s *Solver) SetWorkers(w int) { s.Workers = w }
 
 // SetRecorder implements obs.RecorderSetter: CG (or PCG) iteration counts
-// land in the "bem/cg_iters" histogram.
+// land in the "bem/cg_iters" histogram and final relative residuals in the
+// "bem/cg_final_rel" numerics stat.
 func (s *Solver) SetRecorder(rec *obs.Recorder) { s.rec = rec }
+
+// SetTracer implements obs.TracerSetter: each solve emits a "bem/solve" span
+// (per-worker tracks under a "bem/batch" span for batched solves).
+func (s *Solver) SetTracer(tr *obs.Tracer) { s.tr = tr }
 
 // SolveBatch implements solver.BatchSolver: independent right-hand sides
 // run as concurrent CG solves on the worker pool. Every solve allocates its
 // own iteration buffers and writes only its output slot, so the batch is
 // bitwise-identical to sequential Solve calls.
 func (s *Solver) SolveBatch(vs [][]float64) ([][]float64, error) {
+	sp := s.tr.Begin("bem/batch").Arg("batch_size", len(vs))
 	out := make([][]float64, len(vs))
-	err := par.DoErr(s.Workers, len(vs), func(i int) error {
-		r, err := s.Solve(vs[i])
+	err := par.DoWorkerErr(s.Workers, len(vs), func(worker, i int) error {
+		r, err := s.solveOn(sp, worker+1, vs[i])
 		out[i] = r
 		return err
 	})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -176,8 +201,8 @@ func (s *Solver) SolveBatch(vs [][]float64) ([][]float64, error) {
 }
 
 // cg solves A_cc·q = b by plain conjugate gradients, returning the iteration
-// count.
-func (s *Solver) cg(q, b []float64) (int, error) {
+// count and the final relative residual ‖r‖/‖b‖ (read-only health signal).
+func (s *Solver) cg(q, b []float64) (int, float64, error) {
 	m := len(b)
 	field := make([]float64, s.np*s.np)
 	r := make([]float64, m)
@@ -187,21 +212,21 @@ func (s *Solver) cg(q, b []float64) (int, error) {
 	ap := make([]float64, m)
 	bnorm := la.Norm2(b)
 	if bnorm == 0 {
-		return 0, nil
+		return 0, 0, nil
 	}
 	rr := la.Dot(r, r)
 	for it := 1; it <= s.MaxIts; it++ {
 		s.applyAcc(p, ap, field)
 		pap := la.Dot(p, ap)
 		if pap <= 0 {
-			return it, errNotPD(pap)
+			return it, math.Sqrt(rr) / bnorm, errNotPD(pap)
 		}
 		alpha := rr / pap
 		la.Axpy(alpha, p, q)
 		la.Axpy(-alpha, ap, r)
 		rrNew := la.Dot(r, r)
 		if math.Sqrt(rrNew) <= s.Tol*bnorm {
-			return it, nil
+			return it, math.Sqrt(rrNew) / bnorm, nil
 		}
 		beta := rrNew / rr
 		rr = rrNew
@@ -209,7 +234,8 @@ func (s *Solver) cg(q, b []float64) (int, error) {
 			p[i] = r[i] + beta*p[i]
 		}
 	}
-	return s.MaxIts, errNoConverge(s.MaxIts, la.Norm2(r)/bnorm)
+	rel := la.Norm2(r) / bnorm
+	return s.MaxIts, rel, errNoConverge(s.MaxIts, rel)
 }
 
 func errNotPD(pap float64) error {

@@ -58,8 +58,9 @@ func (s *Solver) applyPrecond(r, z, field []float64) {
 }
 
 // pcg is the preconditioned variant of cg, used when the (deliberately
-// unpromising) §2.3.1 preconditioner is enabled.
-func (s *Solver) pcg(q, b []float64) (int, error) {
+// unpromising) §2.3.1 preconditioner is enabled. Like cg it also returns the
+// final relative residual ‖r‖/‖b‖.
+func (s *Solver) pcg(q, b []float64) (int, float64, error) {
 	m := len(b)
 	field := make([]float64, s.np*s.np)
 	r := append([]float64(nil), b...)
@@ -69,20 +70,20 @@ func (s *Solver) pcg(q, b []float64) (int, error) {
 	ap := make([]float64, m)
 	bnorm := la.Norm2(b)
 	if bnorm == 0 {
-		return 0, nil
+		return 0, 0, nil
 	}
 	rz := la.Dot(r, z)
 	for it := 1; it <= s.MaxIts; it++ {
 		s.applyAcc(p, ap, field)
 		pap := la.Dot(p, ap)
 		if pap <= 0 {
-			return it, errNotPD(pap)
+			return it, la.Norm2(r) / bnorm, errNotPD(pap)
 		}
 		alpha := rz / pap
 		la.Axpy(alpha, p, q)
 		la.Axpy(-alpha, ap, r)
-		if la.Norm2(r) <= s.Tol*bnorm {
-			return it, nil
+		if rn := la.Norm2(r); rn <= s.Tol*bnorm {
+			return it, rn / bnorm, nil
 		}
 		s.applyPrecond(r, z, field)
 		rzNew := la.Dot(r, z)
@@ -92,5 +93,6 @@ func (s *Solver) pcg(q, b []float64) (int, error) {
 			p[i] = z[i] + beta*p[i]
 		}
 	}
-	return s.MaxIts, errNoConverge(s.MaxIts, la.Norm2(r)/bnorm)
+	rel := la.Norm2(r) / bnorm
+	return s.MaxIts, rel, errNoConverge(s.MaxIts, rel)
 }

@@ -72,6 +72,10 @@ type Options struct {
 	// during the extraction. Recording never changes extraction outputs —
 	// they stay bitwise identical to a nil-recorder run.
 	Recorder *obs.Recorder
+	// Tracer, when non-nil, collects hierarchical spans (per level, square,
+	// batch, worker, and solve) for Chrome trace-event export. Like the
+	// recorder, tracing never changes extraction outputs.
+	Tracer *obs.Tracer
 }
 
 // Prepare splits a layout at the finest-square boundaries of an
@@ -124,9 +128,14 @@ func Extract(s solver.Solver, layout *geom.Layout, opt Options) (*Result, error)
 	counting := solver.NewCounting(solver.Parallel(s, opt.Workers))
 	// One SetRecorder call wires the whole chain: the counter streams solve
 	// and batch stats, the pool its worker utilization, and an instrumented
-	// backend (fd, bem) its iteration histograms. Nil recorder = no-op.
+	// backend (fd, bem) its iteration histograms. SetTracer wires spans the
+	// same way. Nil recorder/tracer = no-op.
 	counting.SetRecorder(opt.Recorder)
+	counting.SetTracer(opt.Tracer)
 	defer opt.Recorder.Phase("core/extract")()
+	rootSpan := opt.Tracer.Begin("core/extract").
+		Arg("method", opt.Method.String()).Arg("contacts", layout.N()).Arg("workers", opt.Workers)
+	defer rootSpan.End()
 	res := &Result{Method: opt.Method, Layout: layout, Tree: tree}
 
 	switch opt.Method {
@@ -135,7 +144,7 @@ func Extract(s solver.Solver, layout *geom.Layout, opt Options) (*Result, error)
 		if p == 0 {
 			p = 2
 		}
-		b, err := wavelet.NewBasisRec(layout, tree, p, opt.Workers, opt.Recorder)
+		b, err := wavelet.NewBasisObs(layout, tree, p, opt.Workers, opt.Recorder, opt.Tracer)
 		if err != nil {
 			return nil, err
 		}
@@ -157,6 +166,7 @@ func Extract(s solver.Solver, layout *geom.Layout, opt Options) (*Result, error)
 			lopt.Workers = opt.Workers
 		}
 		lopt.Rec = opt.Recorder
+		lopt.Trace = opt.Tracer
 		rep, err := lowrank.Build(layout, tree, counting, lopt)
 		if err != nil {
 			return nil, err
@@ -168,9 +178,12 @@ func Extract(s solver.Solver, layout *geom.Layout, opt Options) (*Result, error)
 		return nil, fmt.Errorf("core: unknown method %v", opt.Method)
 	}
 	res.Solves = counting.Solves
+	rootSpan.Arg("solves", res.Solves)
 	if opt.ThresholdFactor > 0 {
 		stop := opt.Recorder.Phase("core/threshold")
+		tsp := rootSpan.Child("core/threshold")
 		res.Gwt = res.Gw.ThresholdForSparsity(opt.ThresholdFactor * res.Gw.Sparsity())
+		tsp.Arg("nnz", res.Gwt.NNZ()).End()
 		stop()
 	}
 	return res, nil

@@ -145,6 +145,54 @@ func TestRecorderDoesNotChangeOutputs(t *testing.T) {
 	}
 }
 
+// TestTracerDoesNotChangeOutputs extends the observability guarantee to
+// span tracing: extraction with a live tracer (and recorder) is bitwise
+// identical to an untraced run for both methods and a parallel worker
+// count, and the trace actually covers the run — spans on the main track
+// plus at least one worker track, with no spans silently lost.
+func TestTracerDoesNotChangeOutputs(t *testing.T) {
+	raw := geom.AlternatingGrid(64, 64, 16, 16, 1, 3) // 256 contacts
+	layout, maxLevel := core.Prepare(raw, 4)
+	g := experiments.SyntheticG(layout)
+	for _, method := range []core.Method{core.Wavelet, core.LowRank} {
+		opt := core.Options{Method: method, MaxLevel: maxLevel, ThresholdFactor: 6, Workers: 4}
+		run := func(tr *obs.Tracer) *core.Result {
+			o := opt
+			o.Tracer = tr
+			if tr != nil {
+				o.Recorder = obs.NewRecorder()
+			}
+			res, err := core.Extract(solver.NewDense(g), layout, o)
+			if err != nil {
+				t.Fatalf("%v: %v", method, err)
+			}
+			return res
+		}
+		bare := run(nil)
+		tr := obs.NewTracer(0)
+		traced := run(tr)
+
+		what := method.String()
+		if traced.Solves != bare.Solves {
+			t.Errorf("%s: %d solves with tracer vs %d without", what, traced.Solves, bare.Solves)
+		}
+		sameMatrix(t, what+" Gw", bare.Gw, traced.Gw)
+		sameMatrix(t, what+" Gwt", bare.Gwt, traced.Gwt)
+		sameMatrix(t, what+" Q", bare.Q(), traced.Q())
+
+		if tr.SpanCount() == 0 {
+			t.Errorf("%s: tracer saw no spans", what)
+		}
+		if tr.Dropped() != 0 {
+			t.Errorf("%s: %d spans dropped with the default buffer", what, tr.Dropped())
+		}
+		tracks := tr.Tracks()
+		if len(tracks) < 2 || tracks[0] != 0 {
+			t.Errorf("%s: tracks = %v, want main plus at least one worker track", what, tracks)
+		}
+	}
+}
+
 // TestApplyReconstructionProperties checks that the sparsified operator
 // Q·Gw·Qᵀ built from a real (eigenfunction) solver still behaves like a
 // conductance matrix: symmetric, positive diagonal, non-positive

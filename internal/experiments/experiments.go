@@ -32,6 +32,12 @@ var Workers int
 // run. Recording never changes any table result.
 var Recorder *obs.Recorder
 
+// Tracer, when non-nil, is threaded into every extraction and instrumented
+// solver the same way, so cmd/tables -trace can export one Chrome
+// trace-event file spanning the whole run. Tracing never changes any table
+// result.
+var Tracer *obs.Tracer
+
 // Case is one thesis example: a layout on the standard substrate.
 type Case struct {
 	Name     string
@@ -115,6 +121,7 @@ func BemSolver(c Case) (*bem.Solver, error) {
 	s.Tol = 1e-6
 	s.Workers = Workers
 	s.SetRecorder(Recorder)
+	s.SetTracer(Tracer)
 	return s, nil
 }
 
@@ -189,7 +196,7 @@ func runSparsifySampled(c Case, s solver.Solver, exact *la.Dense, cols []int, me
 	start := time.Now()
 	res, err := core.Extract(s, c.Layout, core.Options{
 		Method: method, MaxLevel: c.MaxLevel, ThresholdFactor: 6, LowRank: lopt,
-		Workers: Workers, Recorder: Recorder,
+		Workers: Workers, Recorder: Recorder, Tracer: Tracer,
 	})
 	if err != nil {
 		return SparsifyStats{}, fmt.Errorf("extract %s/%v: %w", c.Name, method, err)
@@ -264,6 +271,7 @@ func Table21(scale Scale) ([]PrecondStats, error) {
 		}
 		if _, err := core.Extract(s, layout, core.Options{
 			Method: core.Wavelet, MaxLevel: maxLevel, Workers: Workers, Recorder: Recorder,
+			Tracer: Tracer,
 		}); err != nil {
 			return nil, err
 		}
@@ -310,6 +318,8 @@ func Table22(scale Scale) ([]SolverSpeed, error) {
 	bemS.Tol = 1e-6
 	fdS.SetRecorder(Recorder)
 	bemS.SetRecorder(Recorder)
+	fdS.SetTracer(Tracer)
+	bemS.SetTracer(Tracer)
 	run := func(s solver.Solver) (float64, error) {
 		e := make([]float64, layout.N())
 		start := time.Now()

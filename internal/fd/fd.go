@@ -115,6 +115,7 @@ type Solver struct {
 	totalIters atomic.Int64
 
 	rec *obs.Recorder // PCG iteration histogram + precond-setup phase
+	tr  *obs.Tracer   // per-solve spans with convergence args
 }
 
 // New builds a finite-difference solver. The lateral dimensions and depth of
@@ -378,18 +379,34 @@ func (s *Solver) ensurePrecond() error {
 
 // Solve implements solver.Solver.
 func (s *Solver) Solve(v []float64) ([]float64, error) {
+	return s.solveOn(nil, 0, v)
+}
+
+// solveOn is Solve with trace placement: the emitted "fd/solve" span nests
+// under parent (nil = a root span) on the given track. The span carries the
+// PCG iteration count and final relative residual as args — observability
+// only; the solve itself is identical with tracing on or off.
+func (s *Solver) solveOn(parent *obs.Span, track int, v []float64) ([]float64, error) {
 	if len(v) != s.N() {
 		return nil, fmt.Errorf("fd: voltage vector length %d, want %d", len(v), s.N())
 	}
 	if err := s.ensurePrecond(); err != nil {
 		return nil, err
 	}
+	var sp *obs.Span
+	if parent != nil {
+		sp = parent.ChildOn(track, "fd/solve")
+	} else {
+		sp = s.tr.BeginOn(track, "fd/solve")
+	}
 	b := s.rhs(v)
 	x := make([]float64, s.NumNodes())
-	iters, err := s.pcg(x, b)
+	iters, rel, err := s.pcg(x, b)
 	s.solves.Add(1)
 	s.totalIters.Add(int64(iters))
 	s.rec.Observe("fd/pcg_iters", float64(iters))
+	s.rec.Residual("fd/pcg_final_rel", rel)
+	sp.Arg("pcg_iters", iters).Arg("final_rel", rel).End()
 	if err != nil {
 		return nil, err
 	}
@@ -400,9 +417,14 @@ func (s *Solver) Solve(v []float64) ([]float64, error) {
 func (s *Solver) SetWorkers(w int) { s.Opt.Workers = w }
 
 // SetRecorder implements obs.RecorderSetter: PCG iteration counts land in
-// the "fd/pcg_iters" histogram and the one-time preconditioner build is
+// the "fd/pcg_iters" histogram, final relative residuals in the
+// "fd/pcg_final_rel" numerics stat, and the one-time preconditioner build is
 // timed as phase "fd/precond_setup".
 func (s *Solver) SetRecorder(rec *obs.Recorder) { s.rec = rec }
+
+// SetTracer implements obs.TracerSetter: each solve emits an "fd/solve" span
+// (per-worker tracks under an "fd/batch" span for batched solves).
+func (s *Solver) SetTracer(tr *obs.Tracer) { s.tr = tr }
 
 // SolveBatch implements solver.BatchSolver: independent right-hand sides
 // run as concurrent PCG solves on the worker pool. Each solve is a fully
@@ -412,12 +434,14 @@ func (s *Solver) SolveBatch(vs [][]float64) ([][]float64, error) {
 	if err := s.ensurePrecond(); err != nil {
 		return nil, err
 	}
+	sp := s.tr.Begin("fd/batch").Arg("batch_size", len(vs))
 	out := make([][]float64, len(vs))
-	err := par.DoErr(s.Opt.Workers, len(vs), func(i int) error {
-		r, err := s.Solve(vs[i])
+	err := par.DoWorkerErr(s.Opt.Workers, len(vs), func(worker, i int) error {
+		r, err := s.solveOn(sp, worker+1, vs[i])
 		out[i] = r
 		return err
 	})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -490,8 +514,10 @@ var _ solver.Solver = (*Solver)(nil)
 var _ solver.BatchSolver = (*Solver)(nil)
 var _ solver.IterationReporter = (*Solver)(nil)
 
-// pcg runs preconditioned conjugate gradients, returning iteration count.
-func (s *Solver) pcg(x, b []float64) (int, error) {
+// pcg runs preconditioned conjugate gradients, returning the iteration count
+// and the final relative residual ‖r‖/‖b‖ (a read-only health signal — it
+// reuses the norm the convergence test already computed).
+func (s *Solver) pcg(x, b []float64) (int, float64, error) {
 	n := len(b)
 	r := make([]float64, n)
 	copy(r, b)
@@ -502,20 +528,20 @@ func (s *Solver) pcg(x, b []float64) (int, error) {
 	ap := make([]float64, n)
 	bnorm := la.Norm2(b)
 	if bnorm == 0 {
-		return 0, nil
+		return 0, 0, nil
 	}
 	rz := la.Dot(r, z)
 	for it := 1; it <= s.Opt.MaxIts; it++ {
 		s.applyA(p, ap)
 		pap := la.Dot(p, ap)
 		if pap <= 0 {
-			return it, fmt.Errorf("fd: system not positive definite (pᵀAp=%g)", pap)
+			return it, la.Norm2(r) / bnorm, fmt.Errorf("fd: system not positive definite (pᵀAp=%g)", pap)
 		}
 		alpha := rz / pap
 		la.Axpy(alpha, p, x)
 		la.Axpy(-alpha, ap, r)
-		if la.Norm2(r) <= s.Opt.Tol*bnorm {
-			return it, nil
+		if rn := la.Norm2(r); rn <= s.Opt.Tol*bnorm {
+			return it, rn / bnorm, nil
 		}
 		s.applyPrecond(r, z)
 		rzNew := la.Dot(r, z)
@@ -525,8 +551,9 @@ func (s *Solver) pcg(x, b []float64) (int, error) {
 			p[i] = z[i] + beta*p[i]
 		}
 	}
-	return s.Opt.MaxIts, fmt.Errorf("fd: PCG did not converge in %d iterations (residual %g)",
-		s.Opt.MaxIts, la.Norm2(r)/bnorm)
+	rel := la.Norm2(r) / bnorm
+	return s.Opt.MaxIts, rel, fmt.Errorf("fd: PCG did not converge in %d iterations (residual %g)",
+		s.Opt.MaxIts, rel)
 }
 
 // applyPrecond computes z = M⁻¹·r for the configured preconditioner.

@@ -37,6 +37,8 @@ func (e *entryMap) matrix() *sparse.Matrix {
 func (tr *Transformed) assembleGw(level2 map[int]*sweepSquare) {
 	r := tr.Rep
 	n := r.Layout.N()
+	asp := r.Opt.Trace.Begin("lowrank/gw_assembly").Arg("n", n)
+	defer asp.End()
 	em := newEntryMap(n)
 	// Per-square entry lists are computed on the worker pool and merged
 	// into the entry map serially in square order, so the set-semantics
@@ -53,12 +55,14 @@ func (tr *Transformed) assembleGw(level2 map[int]*sweepSquare) {
 		states := tr.sweepStates[lev]
 		squares := r.Tree.SquaresAt(lev)
 		lists := make([][]gwEntry, len(squares))
-		par.Do(r.Opt.Workers, len(squares), func(si int) {
+		lsp := asp.Child("lowrank/gw_level").Arg("level", lev).Arg("squares", len(squares))
+		par.DoWorker(r.Opt.Workers, len(squares), func(worker, si int) {
 			sq := squares[si]
 			ss := states[sq.ID]
 			if ss == nil || ss.T.Cols == 0 {
 				return
 			}
+			ssp := lsp.ChildOn(worker+1, "lowrank/gw_square").Arg("square", sq.ID)
 			targets := tr.targetColumns(sq, lev)
 			list := make([]gwEntry, 0, ss.T.Cols*len(targets))
 			for m := 0; m < ss.T.Cols; m++ {
@@ -69,7 +73,9 @@ func (tr *Transformed) assembleGw(level2 map[int]*sweepSquare) {
 				}
 			}
 			lists[si] = list
+			ssp.Arg("entries", len(list)).End()
 		})
+		lsp.End()
 		for _, list := range lists {
 			for _, e := range list {
 				em.put(e.i, e.j, e.v)
@@ -81,12 +87,15 @@ func (tr *Transformed) assembleGw(level2 map[int]*sweepSquare) {
 	// available because P_s covers the whole surface at level 2.
 	l2squares := r.Tree.SquaresAt(2)
 	ulists := make([][]gwEntry, len(l2squares))
-	par.Do(r.Opt.Workers, len(l2squares), func(si int) {
+	usp := asp.Child("lowrank/gw_u_block").Arg("squares", len(l2squares))
+	par.DoWorker(r.Opt.Workers, len(l2squares), func(worker, si int) {
 		sq := l2squares[si]
 		ss := level2[sq.ID]
 		if ss == nil {
 			return
 		}
+		ssp := usp.ChildOn(worker+1, "lowrank/gw_square").Arg("square", sq.ID)
+		defer ssp.End()
 		base := 0
 		for _, ui := range tr.uCols {
 			if tr.Cols[ui].Square == sq {
@@ -120,6 +129,7 @@ func (tr *Transformed) assembleGw(level2 map[int]*sweepSquare) {
 		}
 		ulists[si] = list
 	})
+	usp.End()
 	for _, list := range ulists {
 		for _, e := range list {
 			em.put(e.i, e.j, e.v)

@@ -57,6 +57,10 @@ type Options struct {
 	// for the build and the fine-to-coarse transform. Recording never
 	// changes the representation.
 	Rec *obs.Recorder
+	// Trace, when non-nil, receives per-level and per-square spans
+	// (row_basis/respond/sweep/gw_assembly) with rank and spectrum-head
+	// args. Tracing never changes the representation either.
+	Trace *obs.Tracer
 }
 
 // DefaultOptions returns the thesis's settings.
@@ -176,6 +180,9 @@ func Build(layout *geom.Layout, tree *quadtree.Tree, s solver.Solver, opt Option
 		opt.RankTol = 0.01
 	}
 	r := &Rep{Layout: layout, Tree: tree, Opt: opt}
+	// Register the clip counter up front so "never clipped" shows as an
+	// explicit zero in the report's numerics section.
+	opt.Rec.Drop("lowrank/rank_clipped", 0)
 	stopRowBasis := opt.Rec.Phase("lowrank/row_basis")
 	L := tree.MaxLevel
 	r.data = make([][]*squareData, L+1)
@@ -224,12 +231,16 @@ func Build(layout *geom.Layout, tree *quadtree.Tree, s solver.Solver, opt Option
 		// 3. Row basis per square from the SVD of sampled interactions.
 		// The SVDs are independent per square: fan them out.
 		levSquares := tree.SquaresAt(lev)
-		par.Do(opt.Workers, len(levSquares), func(i int) {
+		sigmas := make([][]float64, len(levSquares))
+		lsp := opt.Trace.Begin("lowrank/row_basis_level").Arg("level", lev).Arg("squares", len(levSquares))
+		par.DoWorker(opt.Workers, len(levSquares), func(worker, i int) {
 			sq := levSquares[i]
 			sd := r.at(lev, sq.ID)
 			if sd == nil {
 				return
 			}
+			ssp := lsp.ChildOn(worker+1, "lowrank/row_basis").
+				Arg("square", sq.ID).Arg("contacts", len(sq.Contacts))
 			ns := len(sq.Contacts)
 			var cols [][]float64
 			for _, t := range tree.Interactive(sq) {
@@ -244,8 +255,22 @@ func Build(layout *geom.Layout, tree *quadtree.Tree, s solver.Solver, opt Option
 				}
 				cols = append(cols, col)
 			}
-			sd.V = leftBasis(cols, ns, opt.RankTol, opt.MaxRank)
+			sd.V, sigmas[i] = leftBasis(cols, ns, opt.RankTol, opt.MaxRank)
+			ssp.Arg("rank", sd.V.Cols).Arg("sigma_head", sigmaHead(sigmas[i])).End()
 		})
+		lsp.End()
+		// Rank telemetry, committed serially in square order: the chosen cut
+		// per square plus how often the MaxRank cap clipped the spectrum.
+		for i, sq := range levSquares {
+			sd := r.at(lev, sq.ID)
+			if sd == nil {
+				continue
+			}
+			opt.Rec.Rank("lowrank/row_rank", sd.V.Cols)
+			if la.RankByThreshold(sigmas[i], opt.RankTol, 0) > sd.V.Cols {
+				opt.Rec.Drop("lowrank/rank_clipped", 1)
+			}
+		}
 		// 4. Responses to the row-basis columns, by the same machinery.
 		var vbatch []*pending
 		maxc := 0
@@ -295,10 +320,11 @@ func Build(layout *geom.Layout, tree *quadtree.Tree, s solver.Solver, opt Option
 }
 
 // leftBasis returns an orthonormal basis of the dominant left singular
-// space of the matrix whose columns are cols (each of length ns).
-func leftBasis(cols [][]float64, ns int, tol float64, cap int) *la.Dense {
+// space of the matrix whose columns are cols (each of length ns), along
+// with the full singular-value spectrum (for rank/clip telemetry).
+func leftBasis(cols [][]float64, ns int, tol float64, cap int) (*la.Dense, []float64) {
 	if len(cols) == 0 || ns == 0 {
-		return la.NewDense(ns, 0)
+		return la.NewDense(ns, 0), nil
 	}
 	x := la.NewDense(ns, len(cols))
 	for j, c := range cols {
@@ -314,7 +340,16 @@ func leftBasis(cols [][]float64, ns int, tol float64, cap int) *la.Dense {
 		sigma, u = svd.Sigma, svd.V
 	}
 	rank := la.RankByThreshold(sigma, tol, cap)
-	return u.Cols2(0, rank)
+	return u.Cols2(0, rank), sigma
+}
+
+// sigmaHead returns the leading entries of a singular-value spectrum (at
+// most 4) for span args: enough to see the decay without bloating the trace.
+func sigmaHead(sigma []float64) []float64 {
+	if len(sigma) > 4 {
+		sigma = sigma[:4]
+	}
+	return append([]float64{}, sigma...)
 }
 
 // respond fills out = (G_{Ps,s}·vec)^(r) for every pending vector at the
@@ -325,9 +360,12 @@ func leftBasis(cols [][]float64, ns int, tol float64, cap int) *la.Dense {
 // the result is identical for any worker count.
 func (r *Rep) respond(s solver.Solver, lev int, batch []*pending) error {
 	defer r.Opt.Rec.Phase("lowrank/respond")()
+	rsp := r.Opt.Trace.Begin("lowrank/respond").Arg("level", lev).Arg("vectors", len(batch))
+	defer rsp.End()
 	n := r.Layout.N()
 	if lev == 2 || !r.Opt.CombineSolves {
 		r.Opt.Rec.Add("lowrank/solves_respond", int64(len(batch)))
+		rsp.Arg("solves", len(batch))
 		thetas := make([][]float64, len(batch))
 		for i, p := range batch {
 			theta := make([]float64, n)
@@ -418,6 +456,7 @@ func (r *Rep) respond(s solver.Solver, lev int, batch []*pending) error {
 		thetas = append(thetas, theta)
 	}
 	r.Opt.Rec.Add("lowrank/solves_respond", int64(len(thetas)))
+	rsp.Arg("solves", len(thetas))
 	ys, err := solver.SolveBatch(s, thetas)
 	if err != nil {
 		return err
@@ -474,17 +513,21 @@ func (r *Rep) buildFinestLocal(s solver.Solver) error {
 	// W = orthogonal complement of V per square: independent SVDs, fanned
 	// out with the results committed serially in square order.
 	finest := r.Tree.SquaresAt(L)
-	par.Do(r.Opt.Workers, len(finest), func(i int) {
+	wsp := r.Opt.Trace.Begin("lowrank/w_basis").Arg("level", L).Arg("squares", len(finest))
+	par.DoWorker(r.Opt.Workers, len(finest), func(worker, i int) {
 		sq := finest[i]
 		sd := r.at(L, sq.ID)
 		if sd == nil {
 			return
 		}
+		ssp := wsp.ChildOn(worker+1, "lowrank/w_complement").Arg("square", sq.ID)
 		sd.lContacts = quadtree.ContactsOf(r.Tree.Local(sq))
 		_, q := la.FullRightBasis(sd.V.T())
 		sd.W = q.Cols2(sd.V.Cols, len(sq.Contacts))
 		sd.GLW = la.NewDense(len(sd.lContacts), sd.W.Cols)
+		ssp.Arg("w_cols", sd.W.Cols).End()
 	})
+	wsp.End()
 	var items []*witem
 	for _, sq := range finest {
 		sd := r.at(L, sq.ID)
@@ -570,6 +613,7 @@ func (r *Rep) buildFinestLocal(s solver.Solver) error {
 		sd.GLW.SetCol(it.m, out)
 	})
 	// Local blocks (4.26): (G_Ls,s)^(f) = (G V_s)^(r)·V_sᵀ + (G W_s)^(c)·W_sᵀ.
+	bsp := r.Opt.Trace.Begin("lowrank/local_block").Arg("level", L).Arg("squares", len(finest))
 	par.Do(r.Opt.Workers, len(finest), func(i int) {
 		sd := r.at(L, finest[i].ID)
 		if sd == nil {
@@ -581,6 +625,7 @@ func (r *Rep) buildFinestLocal(s solver.Solver) error {
 			sd.GL = la.Add(sd.GL, la.Mul(sd.GLW, sd.W.T()))
 		}
 	})
+	bsp.End()
 	return nil
 }
 

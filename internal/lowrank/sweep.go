@@ -53,12 +53,18 @@ type sweepSquare struct {
 	D         *la.Dense // responses of [T U] columns at local contacts
 	lContacts []int
 	lIndex    map[int]int
+
+	// Telemetry captured by buildParent (observability only): the chosen
+	// recombination rank and the head of the singular-value spectrum.
+	rank    int
+	sigHead []float64
 }
 
 // Transform runs the fine-to-coarse sweep (§4.4). No black-box solves are
 // needed: everything comes from the row-basis representation.
 func (r *Rep) Transform() *Transformed {
 	stopSweep := r.Opt.Rec.Phase("lowrank/sweep")
+	swp := r.Opt.Trace.Begin("lowrank/sweep")
 	tr := &Transformed{Rep: r}
 	L := r.Tree.MaxLevel
 	tr.tCols = make([][][]int, L+1)
@@ -94,17 +100,22 @@ func (r *Rep) Transform() *Transformed {
 	for lev := L; lev > 2; lev-- {
 		parents := r.Tree.SquaresAt(lev - 1)
 		built := make([]*sweepSquare, len(parents))
-		par.Do(r.Opt.Workers, len(parents), func(i int) {
+		lsp := swp.Child("lowrank/sweep_level").Arg("level", lev-1).Arg("squares", len(parents))
+		par.DoWorker(r.Opt.Workers, len(parents), func(worker, i int) {
 			psq := parents[i]
 			psd := r.at(lev-1, psq.ID)
 			if psd == nil {
 				return
 			}
+			ssp := lsp.ChildOn(worker+1, "lowrank/sweep_square").Arg("square", psq.ID)
 			built[i] = r.buildParent(psq, psd, state)
+			ssp.Arg("rank", built[i].rank).Arg("sigma_head", built[i].sigHead).End()
 		})
+		lsp.End()
 		next := make(map[int]*sweepSquare)
 		for i, psq := range parents {
 			if built[i] != nil {
+				r.Opt.Rec.Rank("lowrank/sweep_rank", built[i].rank)
 				next[psq.ID] = built[i]
 			}
 		}
@@ -128,6 +139,7 @@ func (r *Rep) Transform() *Transformed {
 	}
 
 	stopSweep()
+	swp.End()
 
 	stopAssemble := r.Opt.Rec.Phase("lowrank/gw_assembly")
 	tr.assembleGw(state)
@@ -222,7 +234,9 @@ func (r *Rep) buildParent(psq *quadtree.Square, psd *squareData, state map[int]*
 		var sigma []float64
 		sigma, q = la.FullRightBasis(m)
 		rank = la.RankByThreshold(sigma, r.Opt.RankTol, r.Opt.MaxRank)
+		ss.sigHead = sigmaHead(sigma)
 	}
+	ss.rank = rank
 	ss.U = la.Mul(xp, q.Cols2(0, rank))
 	ss.T = la.Mul(xp, q.Cols2(rank, total))
 

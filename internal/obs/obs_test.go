@@ -109,6 +109,10 @@ func validReport() *RunReport {
 	r.Add("solver/solves", 12)
 	r.Observe("solver/batch_size", 12)
 	r.Observe("bem/cg_iters", 9)
+	r.Residual("bem/cg_final_rel", 3e-7)
+	r.Residual("bem/cg_final_rel", 8e-7)
+	r.Rank("lowrank/row_rank", 3)
+	r.Drop("lowrank/rank_clipped", 0)
 	return &RunReport{
 		Schema: ReportSchema,
 		Tool:   "subx",
@@ -116,7 +120,8 @@ func validReport() *RunReport {
 		Results: map[string]any{
 			"solves": 12, "gw_nnz": 100, "gw_sparsity": 2.5,
 		},
-		Obs: r.Snapshot(),
+		Obs:      r.Snapshot(),
+		Numerics: r.Numerics(),
 	}
 }
 
@@ -151,6 +156,30 @@ func TestValidateRunReport(t *testing.T) {
 		{"no batch hist", mutate(func(r *RunReport) { delete(r.Obs.Histograms, "solver/batch_size") })},
 		{"no iters hist", mutate(func(r *RunReport) { delete(r.Obs.Histograms, "bem/cg_iters") })},
 		{"no results", mutate(func(r *RunReport) { delete(r.Results, "gw_nnz") })},
+		{"negative counter", mutate(func(r *RunReport) { r.Obs.Counters["solver/fallback"] = -1 })},
+		{"v2 without numerics", mutate(func(r *RunReport) { r.Numerics = nil })},
+		{"v1 with numerics", mutate(func(r *RunReport) { r.Schema = ReportSchemaV1 })},
+		{"residual empty", mutate(func(r *RunReport) {
+			r.Numerics.Residuals["fd/pcg_final_rel"] = ValueStat{}
+		})},
+		{"residual min above max", mutate(func(r *RunReport) {
+			r.Numerics.Residuals["fd/pcg_final_rel"] = ValueStat{Count: 2, Min: 2, Max: 1, Last: 1}
+		})},
+		{"residual last outside range", mutate(func(r *RunReport) {
+			r.Numerics.Residuals["fd/pcg_final_rel"] = ValueStat{Count: 2, Min: 1, Max: 2, Last: 5}
+		})},
+		{"negative residual", mutate(func(r *RunReport) {
+			r.Numerics.Residuals["fd/pcg_final_rel"] = ValueStat{Count: 1, Min: -1, Max: 1, Last: 0}
+		})},
+		{"rank buckets disagree with count", mutate(func(r *RunReport) {
+			h := r.Numerics.Ranks["lowrank/row_rank"]
+			h.Buckets = append(h.Buckets, BucketStat{Le: "8", Count: 5})
+			r.Numerics.Ranks["lowrank/row_rank"] = h
+		})},
+		{"negative rank bucket", mutate(func(r *RunReport) {
+			r.Numerics.Ranks["bad"] = HistStat{Count: -1, Buckets: []BucketStat{{Le: "1", Count: -1}}}
+		})},
+		{"negative drop counter", mutate(func(r *RunReport) { r.Numerics.Drops["obs/spans_dropped"] = -2 })},
 	}
 	for _, c := range cases {
 		if err := ValidateRunReport(c.data, true); err == nil {
@@ -160,6 +189,81 @@ func TestValidateRunReport(t *testing.T) {
 	// Without extraction, missing result keys are fine.
 	if err := ValidateRunReport(mutate(func(r *RunReport) { r.Results = nil }), false); err != nil {
 		t.Fatalf("requireExtraction=false still checked results: %v", err)
+	}
+	// A v1 document (no numerics section) must stay accepted.
+	v1 := mutate(func(r *RunReport) { r.Schema = ReportSchemaV1; r.Numerics = nil })
+	if err := ValidateRunReport(v1, true); err != nil {
+		t.Fatalf("v1 report rejected: %v", err)
+	}
+}
+
+func TestNumericsAccumulators(t *testing.T) {
+	r := NewRecorder()
+	r.Residual("res", 0.5)
+	r.Residual("res", 0.1)
+	r.Residual("res", 0.3)
+	r.Rank("rank", 2)
+	r.Rank("rank", 5)
+	r.Drop("clip", 0)
+	r.Drop("clip", 3)
+	n := r.Numerics()
+	v := n.Residuals["res"]
+	if v.Count != 3 || v.Min != 0.1 || v.Max != 0.5 || v.Last != 0.3 {
+		t.Fatalf("residual stat wrong: %+v", v)
+	}
+	if want := (0.5 + 0.1 + 0.3) / 3; v.Mean != want {
+		t.Fatalf("residual mean = %v, want %v", v.Mean, want)
+	}
+	h := n.Ranks["rank"]
+	if h.Count != 2 || h.Min != 2 || h.Max != 5 {
+		t.Fatalf("rank hist wrong: %+v", h)
+	}
+	if n.Drops["clip"] != 3 {
+		t.Fatalf("drop counter = %d, want 3", n.Drops["clip"])
+	}
+
+	// Nil recorder: no numerics section at all (that absence is what makes a
+	// report v1-shaped); non-nil empty recorder: present but empty.
+	var nilRec *Recorder
+	if nilRec.Numerics() != nil {
+		t.Fatalf("nil recorder returned a numerics section")
+	}
+	empty := NewRecorder().Numerics()
+	if empty == nil || len(empty.Residuals) != 0 || len(empty.Ranks) != 0 || len(empty.Drops) != 0 {
+		t.Fatalf("empty recorder numerics wrong: %+v", empty)
+	}
+}
+
+// TestHistogramBucketLadder pins the bucket bounds as a complete
+// power-of-two ladder (the 1024→4096→16384 gaps aliased 2048- and
+// 8192-sized samples into wider buckets) and the explicit overflow bucket
+// above the top bound.
+func TestHistogramBucketLadder(t *testing.T) {
+	r := NewRecorder()
+	// One sample exactly on each bound, plus one past the top.
+	bounds := []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384}
+	for _, v := range bounds {
+		r.Observe("ladder", v)
+	}
+	r.Observe("ladder", 16385)
+	h := r.Snapshot().Histograms["ladder"]
+	if h.Count != int64(len(bounds)+1) {
+		t.Fatalf("count = %d, want %d", h.Count, len(bounds)+1)
+	}
+	// Bounds are inclusive, so every bucket (including +Inf) holds exactly
+	// one sample, in ladder order.
+	if len(h.Buckets) != len(bounds)+1 {
+		t.Fatalf("occupied buckets = %d, want %d: %+v", len(h.Buckets), len(bounds)+1, h.Buckets)
+	}
+	for i, b := range h.Buckets[:len(bounds)] {
+		want := formatBound(bounds[i])
+		if b.Le != want || b.Count != 1 {
+			t.Fatalf("bucket %d = %+v, want le=%s count=1", i, b, want)
+		}
+	}
+	last := h.Buckets[len(bounds)]
+	if last.Le != "+Inf" || last.Count != 1 {
+		t.Fatalf("overflow bucket = %+v, want le=+Inf count=1", last)
 	}
 }
 
@@ -176,14 +280,14 @@ func TestSnapshotJSONStable(t *testing.T) {
 	if string(a) != string(b) {
 		t.Fatalf("marshal not deterministic")
 	}
-	if !strings.Contains(string(a), `"schema": "subcouple-run-report/v1"`) {
+	if !strings.Contains(string(a), `"schema": "subcouple-run-report/v2"`) {
 		t.Fatalf("schema line missing:\n%s", a)
 	}
 	var parsed map[string]json.RawMessage
 	if err := json.Unmarshal(a, &parsed); err != nil {
 		t.Fatal(err)
 	}
-	for _, k := range []string{"schema", "tool", "config", "results", "obs"} {
+	for _, k := range []string{"schema", "tool", "config", "results", "obs", "numerics"} {
 		if _, ok := parsed[k]; !ok {
 			t.Fatalf("top-level key %q missing", k)
 		}

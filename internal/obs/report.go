@@ -6,10 +6,15 @@ import (
 	"strings"
 )
 
-// ReportSchema identifies the run-report JSON layout. Bump only with a
-// migration note in DESIGN.md; downstream tooling (cmd/benchreport -check,
-// CI) keys on it.
-const ReportSchema = "subcouple-run-report/v1"
+// ReportSchema identifies the run-report JSON layout written by current
+// tools. Bump only with a migration note in DESIGN.md; downstream tooling
+// (cmd/benchreport -check, CI) keys on it. v2 added the "numerics" section
+// (per-phase residual stats, rank histograms, drop counters);
+// ValidateRunReport still accepts v1 documents.
+const (
+	ReportSchema   = "subcouple-run-report/v2"
+	ReportSchemaV1 = "subcouple-run-report/v1"
+)
 
 // PhaseStat is one phase's aggregate: how many times it ran and the total
 // inclusive wall time.
@@ -46,6 +51,28 @@ type Snapshot struct {
 	Histograms map[string]HistStat `json:"histograms"`
 }
 
+// ValueStat summarizes a residual-style value series: count/sum/min/max/
+// mean plus the last sample, which is the "is convergence degrading toward
+// the end of the run" signal.
+type ValueStat struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	Last  float64 `json:"last"`
+}
+
+// Numerics is the v2 report's numerical-health section: solver residual
+// statistics per phase (fd/pcg_final_rel, bem/cg_final_rel), low-rank /
+// wavelet rank-cut histograms, and drop counters (clipped spectra, spans
+// that missed the trace buffer).
+type Numerics struct {
+	Residuals map[string]ValueStat `json:"residuals"`
+	Ranks     map[string]HistStat  `json:"ranks"`
+	Drops     map[string]int64     `json:"drops"`
+}
+
 // RunReport is the top-level document written by `cmd/subx -report` and
 // `cmd/tables -report`. Config holds the resolved run parameters, Results
 // the end-of-run extraction metrics; both are flat maps so the key set —
@@ -57,6 +84,8 @@ type RunReport struct {
 	Config  map[string]any `json:"config"`
 	Results map[string]any `json:"results"`
 	Obs     Snapshot       `json:"obs"`
+	// Numerics is required for v2 documents and absent from v1.
+	Numerics *Numerics `json:"numerics,omitempty"`
 }
 
 // MarshalIndent renders the report as stable, human-diffable JSON.
@@ -73,18 +102,21 @@ func (r *RunReport) MarshalIndent() ([]byte, error) {
 var requiredResultKeys = []string{"solves", "gw_nnz", "gw_sparsity"}
 
 // ValidateRunReport parses data and checks the invariants the schema
-// promises: the schema string, a non-empty tool name, at least one timed
-// phase, a solve counter, solver batch-size stats, an iteration histogram
-// from the substrate solver, and — when requireExtraction is set — the
-// extraction result keys. It is the check CI runs against `cmd/subx
-// -report` output.
+// promises: a known schema string (v1 or v2), a non-empty tool name, at
+// least one timed phase, a solve counter, no negative counters, solver
+// batch-size stats, an iteration histogram from the substrate solver, a
+// well-formed numerics section (v2 only), and — when requireExtraction is
+// set — the extraction result keys. It is the check CI runs against
+// `cmd/subx -report` output.
 func ValidateRunReport(data []byte, requireExtraction bool) error {
 	var r RunReport
 	if err := json.Unmarshal(data, &r); err != nil {
 		return fmt.Errorf("run report: not valid JSON: %w", err)
 	}
-	if r.Schema != ReportSchema {
-		return fmt.Errorf("run report: schema %q, want %q", r.Schema, ReportSchema)
+	switch r.Schema {
+	case ReportSchema, ReportSchemaV1:
+	default:
+		return fmt.Errorf("run report: schema %q, want %q or %q", r.Schema, ReportSchema, ReportSchemaV1)
 	}
 	if r.Tool == "" {
 		return fmt.Errorf("run report: missing tool name")
@@ -95,6 +127,11 @@ func ValidateRunReport(data []byte, requireExtraction bool) error {
 	for _, p := range r.Obs.Phases {
 		if p.Name == "" || p.Calls <= 0 || p.Seconds < 0 {
 			return fmt.Errorf("run report: malformed phase %+v", p)
+		}
+	}
+	for name, v := range r.Obs.Counters {
+		if v < 0 {
+			return fmt.Errorf("run report: negative counter %s = %d", name, v)
 		}
 	}
 	if r.Obs.Counters["solver/solves"] <= 0 {
@@ -113,11 +150,59 @@ func ValidateRunReport(data []byte, requireExtraction bool) error {
 	if !iters {
 		return fmt.Errorf("run report: no *_iters iteration histogram")
 	}
+	if r.Schema == ReportSchema {
+		if err := validateNumerics(r.Numerics); err != nil {
+			return err
+		}
+	} else if r.Numerics != nil {
+		return fmt.Errorf("run report: v1 document carries a numerics section")
+	}
 	if requireExtraction {
 		for _, k := range requiredResultKeys {
 			if _, ok := r.Results[k]; !ok {
 				return fmt.Errorf("run report: missing results key %q", k)
 			}
+		}
+	}
+	return nil
+}
+
+// validateNumerics checks the v2 numerics section: it must be present, and
+// every residual stat, rank histogram and drop counter must be internally
+// consistent (non-negative counts, min <= max, last within [min, max]).
+func validateNumerics(n *Numerics) error {
+	if n == nil {
+		return fmt.Errorf("run report: v2 document missing numerics section")
+	}
+	for name, v := range n.Residuals {
+		if v.Count <= 0 {
+			return fmt.Errorf("run report: numerics residual %s has count %d", name, v.Count)
+		}
+		if v.Min > v.Max || v.Last < v.Min || v.Last > v.Max {
+			return fmt.Errorf("run report: numerics residual %s malformed: %+v", name, v)
+		}
+		if v.Min < 0 {
+			return fmt.Errorf("run report: numerics residual %s negative: %+v", name, v)
+		}
+	}
+	for name, h := range n.Ranks {
+		if h.Count <= 0 {
+			return fmt.Errorf("run report: numerics rank histogram %s has count %d", name, h.Count)
+		}
+		var total int64
+		for _, b := range h.Buckets {
+			if b.Count < 0 {
+				return fmt.Errorf("run report: numerics rank histogram %s has negative bucket", name)
+			}
+			total += b.Count
+		}
+		if total != h.Count {
+			return fmt.Errorf("run report: numerics rank histogram %s buckets sum to %d, count %d", name, total, h.Count)
+		}
+	}
+	for name, v := range n.Drops {
+		if v < 0 {
+			return fmt.Errorf("run report: numerics drop counter %s = %d", name, v)
 		}
 	}
 	return nil

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzValidateRunReport throws arbitrary bytes at the validator (the corpus
+// under testdata/fuzz seeds truncated JSON, wrong schemas, negative
+// counters, and well-formed v1/v2 documents). The validator must never
+// panic, and any document it accepts must actually satisfy the schema
+// contract it promises: a known schema string, and a numerics section
+// exactly when the document is v2.
+func FuzzValidateRunReport(f *testing.F) {
+	if rep := validReport(); rep != nil {
+		if b, err := rep.MarshalIndent(); err == nil {
+			f.Add(b)
+		}
+	}
+	f.Add([]byte(`{"schema":"subcouple-run-report/v2","tool":`)) // truncated
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, requireExtraction := range []bool{false, true} {
+			if err := ValidateRunReport(data, requireExtraction); err != nil {
+				continue
+			}
+			var r RunReport
+			if err := json.Unmarshal(data, &r); err != nil {
+				t.Fatalf("validator accepted unparseable input: %q", data)
+			}
+			switch r.Schema {
+			case ReportSchema:
+				if r.Numerics == nil {
+					t.Fatalf("validator accepted v2 without numerics: %q", data)
+				}
+			case ReportSchemaV1:
+				if r.Numerics != nil {
+					t.Fatalf("validator accepted v1 with numerics: %q", data)
+				}
+			default:
+				t.Fatalf("validator accepted unknown schema %q", r.Schema)
+			}
+			for name, v := range r.Obs.Counters {
+				if v < 0 {
+					t.Fatalf("validator accepted negative counter %s=%d", name, v)
+				}
+			}
+		}
+	})
+}

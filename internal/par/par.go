@@ -27,6 +27,15 @@ func Workers(w int) int {
 // n <= 1) it runs inline with no goroutines, so serial and parallel
 // executions share one code path.
 func Do(workers, n int, fn func(i int)) {
+	DoWorker(workers, n, func(_, i int) { fn(i) })
+}
+
+// DoWorker is Do with the pool-slot index exposed: fn(worker, i) runs item i
+// on slot worker in [0, min(Workers(workers), n)). The slot index exists for
+// observability (per-worker trace tracks) — it must never influence the
+// computed result, which stays bitwise-identical for any worker count. The
+// inline path runs every item as worker 0.
+func DoWorker(workers, n int, fn func(worker, i int)) {
 	if n <= 0 {
 		return
 	}
@@ -36,7 +45,7 @@ func Do(workers, n int, fn func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -44,16 +53,16 @@ func Do(workers, n int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(worker, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }
@@ -63,12 +72,17 @@ func Do(workers, n int, fn func(i int)) {
 // the returned error is the one from the lowest failing index, matching
 // what a serial loop that stopped at the first failure would report.
 func DoErr(workers, n int, fn func(i int) error) error {
+	return DoWorkerErr(workers, n, func(_, i int) error { return fn(i) })
+}
+
+// DoWorkerErr is DoErr with the pool-slot index exposed (see DoWorker).
+func DoWorkerErr(workers, n int, fn func(worker, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
 	errs := make([]error, n)
-	Do(workers, n, func(i int) {
-		errs[i] = fn(i)
+	DoWorker(workers, n, func(worker, i int) {
+		errs[i] = fn(worker, i)
 	})
 	for _, err := range errs {
 		if err != nil {

@@ -56,3 +56,57 @@ func TestDoErrReturnsLowestIndexError(t *testing.T) {
 		t.Fatalf("unexpected error: %v", err)
 	}
 }
+
+func TestDoWorkerSlotIndexBounds(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		const n = 40
+		slots := workers
+		if slots > n {
+			slots = n
+		}
+		counts := make([]atomic.Int64, n)
+		var bad atomic.Int64
+		DoWorker(workers, n, func(worker, i int) {
+			counts[i].Add(1)
+			if worker < 0 || worker >= slots {
+				bad.Add(1)
+			}
+		})
+		if bad.Load() != 0 {
+			t.Fatalf("workers=%d: slot index escaped [0, %d)", workers, slots)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestDoWorkerInlinePathIsWorkerZero(t *testing.T) {
+	var maxWorker atomic.Int64
+	DoWorker(1, 10, func(worker, i int) {
+		if int64(worker) > maxWorker.Load() {
+			maxWorker.Store(int64(worker))
+		}
+	})
+	if maxWorker.Load() != 0 {
+		t.Fatalf("serial path used worker slot %d, want 0", maxWorker.Load())
+	}
+}
+
+func TestDoWorkerErrPropagatesLowestIndexError(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	err := DoWorkerErr(4, 20, func(worker, i int) error {
+		switch i {
+		case 5:
+			return errLow
+		case 15:
+			return errHigh
+		}
+		return nil
+	})
+	if err != errLow {
+		t.Fatalf("got %v, want the lowest-index error", err)
+	}
+}

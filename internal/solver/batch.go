@@ -48,6 +48,7 @@ type parallelSolver struct {
 	s       Solver
 	workers int
 	rec     *obs.Recorder
+	tr      *obs.Tracer
 }
 
 // Parallel adapts s into a BatchSolver whose SolveBatch runs independent
@@ -92,6 +93,16 @@ func (p *parallelSolver) SetRecorder(rec *obs.Recorder) {
 	}
 }
 
+// SetTracer implements obs.TracerSetter, forwarding down the chain like
+// SetRecorder. The adapter's own spans cover the fallback fan-out path;
+// native BatchSolver backends (fd, bem) emit their own batch spans.
+func (p *parallelSolver) SetTracer(tr *obs.Tracer) {
+	p.tr = tr
+	if ts, ok := p.s.(obs.TracerSetter); ok {
+		ts.SetTracer(tr)
+	}
+}
+
 // SolveBatch implements BatchSolver. A wrapped *Counting is unwrapped here
 // — counted, then bypassed — so the fan-out always happens below the
 // counter. Without this, Counting's own SolveBatch (a sequential Solve loop
@@ -115,12 +126,16 @@ func (p *parallelSolver) SolveBatch(vs [][]float64) ([][]float64, error) {
 	if bs, ok := s.(BatchSolver); ok {
 		return bs.SolveBatch(vs)
 	}
+	sp := p.tr.Begin("solver/parallel_batch").Arg("batch_size", len(vs))
 	out := make([][]float64, len(vs))
-	err := par.DoErr(p.workers, len(vs), func(i int) error {
+	err := par.DoWorkerErr(p.workers, len(vs), func(worker, i int) error {
+		ssp := sp.ChildOn(worker+1, "solver/solve").Arg("rhs", i)
 		r, err := s.Solve(vs[i])
+		ssp.End()
 		out[i] = r
 		return err
 	})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}

@@ -87,6 +87,14 @@ func (c *Counting) SetRecorder(rec *obs.Recorder) {
 	}
 }
 
+// SetTracer implements obs.TracerSetter by forwarding to the wrapped solver;
+// Counting itself emits no spans (the per-solve spans live in the backends).
+func (c *Counting) SetTracer(tr *obs.Tracer) {
+	if ts, ok := c.S.(obs.TracerSetter); ok {
+		ts.SetTracer(tr)
+	}
+}
+
 // SetWorkers implements WorkerSetter by forwarding to the wrapped solver,
 // so a Counting anywhere in a chain is transparent to the worker knob.
 func (c *Counting) SetWorkers(w int) {

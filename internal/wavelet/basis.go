@@ -73,6 +73,7 @@ type Basis struct {
 	facVCols  map[int]int
 
 	rec *obs.Recorder // phase timers + solve counters; nil = no-op
+	tr  *obs.Tracer   // per-level/per-square spans; nil = no-op
 }
 
 // NewBasis builds the wavelet basis for a layout already split so that no
@@ -97,12 +98,22 @@ func NewBasisWorkers(layout *geom.Layout, tree *quadtree.Tree, p, workers int) (
 // report their phases and solve counters into rec. A nil rec records
 // nothing.
 func NewBasisRec(layout *geom.Layout, tree *quadtree.Tree, p, workers int, rec *obs.Recorder) (*Basis, error) {
+	return NewBasisObs(layout, tree, p, workers, rec, nil)
+}
+
+// NewBasisObs is NewBasisRec with an obs.Tracer: the build emits one span
+// per level ("wavelet/split_level") with per-square children on worker
+// tracks, V-rank cuts land in the recorder's "wavelet/v_rank" numerics
+// histogram, and extraction calls on the returned basis trace their
+// schedule. Nil rec/tr record nothing; the basis is bitwise-identical
+// either way.
+func NewBasisObs(layout *geom.Layout, tree *quadtree.Tree, p, workers int, rec *obs.Recorder, tr *obs.Tracer) (*Basis, error) {
 	defer rec.Phase("wavelet/basis")()
 	if p < 0 {
 		return nil, fmt.Errorf("wavelet: moment order must be >= 0")
 	}
 	b := &Basis{Layout: layout, Tree: tree, P: p, RankTol: 1e-9,
-		facFinest: map[int]*la.Dense{}, facCoarse: map[int]*la.Dense{}, facVCols: map[int]int{}, rec: rec}
+		facFinest: map[int]*la.Dense{}, facCoarse: map[int]*la.Dense{}, facVCols: map[int]int{}, rec: rec, tr: tr}
 	L := tree.MaxLevel
 	b.wCols = make([][][]int, L+1)
 	b.maxWAt = make([]int, L+1)
@@ -125,21 +136,27 @@ func NewBasisRec(layout *geom.Layout, tree *quadtree.Tree, p, workers int, rec *
 	}
 	finest := tree.SquaresAt(L)
 	fsplits := make([]split, len(finest))
-	par.Do(workers, len(finest), func(i int) {
+	lsp := tr.Begin("wavelet/split_level").Arg("level", L).Arg("squares", len(finest))
+	par.DoWorker(workers, len(finest), func(worker, i int) {
 		s := finest[i]
 		if len(s.Contacts) == 0 {
 			return
 		}
+		ssp := lsp.ChildOn(worker+1, "wavelet/split").
+			Arg("square", s.ID).Arg("contacts", len(s.Contacts))
 		cx, cy := tree.Center(s)
 		m := moments.Matrix(layout, s.Contacts, cx, cy, p, tree.SideAt(L))
 		sigma, q := la.FullRightBasis(m)
 		fsplits[i] = split{q: q, vs: la.RankByThreshold(sigma, b.RankTol, 0)}
+		ssp.Arg("v_rank", fsplits[i].vs).End()
 	})
+	lsp.End()
 	for i, s := range finest {
 		sp := fsplits[i]
 		if sp.q == nil {
 			continue
 		}
+		b.rec.Rank("wavelet/v_rank", sp.vs)
 		vBasis[s.ID] = sp.q.Cols2(0, sp.vs)
 		b.appendW(s, sp.q.Cols2(sp.vs, len(s.Contacts)), s.Contacts)
 		b.facFinest[s.ID] = sp.q
@@ -156,12 +173,16 @@ func NewBasisRec(layout *geom.Layout, tree *quadtree.Tree, p, workers int, rec *
 	for lev := L - 1; lev >= 0; lev-- {
 		squares := tree.SquaresAt(lev)
 		rsplits := make([]recomb, len(squares))
-		par.Do(workers, len(squares), func(i int) {
+		rlsp := tr.Begin("wavelet/recombine_level").Arg("level", lev).Arg("squares", len(squares))
+		par.DoWorker(workers, len(squares), func(worker, i int) {
 			s := squares[i]
 			np := len(s.Contacts)
 			if np == 0 {
 				return
 			}
+			ssp := rlsp.ChildOn(worker+1, "wavelet/recombine").
+				Arg("square", s.ID).Arg("contacts", np)
+			defer ssp.End()
 			rowOf := make(map[int]int, np)
 			for r, ci := range s.Contacts {
 				rowOf[ci] = r
@@ -199,6 +220,7 @@ func NewBasisRec(layout *geom.Layout, tree *quadtree.Tree, p, workers int, rec *
 			mv := la.Mul(mp, vch)
 			sigma, q := la.FullRightBasis(mv)
 			vs := la.RankByThreshold(sigma, b.RankTol, 0)
+			ssp.Arg("v_rank", vs)
 			rsplits[i] = recomb{
 				vNew: la.Mul(vch, q.Cols2(0, vs)),
 				wNew: la.Mul(vch, q.Cols2(vs, totalCols)),
@@ -206,12 +228,14 @@ func NewBasisRec(layout *geom.Layout, tree *quadtree.Tree, p, workers int, rec *
 				vs:   vs,
 			}
 		})
+		rlsp.End()
 		next := make(map[int]*la.Dense)
 		for i, s := range squares {
 			r := rsplits[i]
 			if r.q == nil {
 				continue
 			}
+			b.rec.Rank("wavelet/v_rank", r.vs)
 			next[s.ID] = r.vNew
 			b.appendW(s, r.wNew, s.Contacts)
 			b.facCoarse[levelKey(lev, s.ID)] = r.q

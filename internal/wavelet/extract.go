@@ -42,6 +42,8 @@ func (b *Basis) ExtractCombined(s solver.Solver) (*sparse.Matrix, error) {
 		return nil, fmt.Errorf("wavelet: solver has %d contacts, basis %d", s.N(), b.N())
 	}
 	defer b.rec.Phase("wavelet/extract")()
+	xsp := b.tr.Begin("wavelet/extract_combined").Arg("n", b.N())
+	defer xsp.End()
 	em := newEntryMap(b.N())
 
 	// Every black-box call of the algorithm is independent of every other,
@@ -96,6 +98,9 @@ func (b *Basis) ExtractCombined(s solver.Solver) (*sparse.Matrix, error) {
 		})
 		for _, key := range keys {
 			members := classes[key]
+			csp := b.tr.Begin("wavelet/class").
+				Arg("level", lev).Arg("class", fmt.Sprintf("%d,%d", key[0], key[1])).
+				Arg("members", len(members))
 			maxm := 0
 			for _, sq := range members {
 				if n := len(b.wCols[lev][sq.ID]); n > maxm {
@@ -118,15 +123,18 @@ func (b *Basis) ExtractCombined(s solver.Solver) (*sparse.Matrix, error) {
 				rhs = append(rhs, theta)
 				combs = append(combs, combined{lev: lev, m: m, contributors: contributors})
 			}
+			csp.Arg("solves", maxm).End()
 		}
 	}
 
 	b.rec.Add("wavelet/solves_direct", int64(len(direct)))
 	b.rec.Add("wavelet/solves_combined", int64(len(combs)))
+	xsp.Arg("solves_direct", len(direct)).Arg("solves_combined", len(combs))
 	ys, err := solver.SolveBatch(s, rhs)
 	if err != nil {
 		return nil, err
 	}
+	ssp := xsp.Child("wavelet/scatter")
 	for k, cj := range direct {
 		y := ys[k]
 		for ci := range b.Cols {
@@ -142,6 +150,7 @@ func (b *Basis) ExtractCombined(s solver.Solver) (*sparse.Matrix, error) {
 			}
 		}
 	}
+	ssp.End()
 	return em.matrix(), nil
 }
 
