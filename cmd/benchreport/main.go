@@ -2,8 +2,10 @@
 // perf-trajectory data point: it re-runs the BenchmarkExtractSerial/Parallel
 // ablation pair (end-to-end low-rank extraction of the 256-contact
 // alternating example against the live eigenfunction solver, Workers 1 vs
-// all CPUs) plus the wavelet per-table extraction on the same case, and
-// writes timings, solve counts, and a full instrumented run report.
+// all CPUs) plus the wavelet per-table extraction on the same case, times
+// the model layer's serving paths (single-RHS and batched engine applies,
+// zero substrate solves), and writes timings, solve counts, and a full
+// instrumented run report.
 //
 // Usage:
 //
@@ -249,6 +251,16 @@ func run(out string, short bool, reps int) error {
 		return err
 	}
 
+	// Apply-path benchmarks: the serving side of the model layer. One op is
+	// a single Q·Gw·Qᵀ·x through the engine's scratch-buffered path, or a
+	// 16-column batch on the worker pool. Zero substrate solves by
+	// construction, so the solve-count gate pins that the serving path never
+	// regresses into re-extraction.
+	for _, row := range timeApply(res, reps) {
+		log.Printf("%-16s %8.3gs/op (best of %d), %d solves", row.Name, row.SecondsPerOp, reps, row.Solves)
+		rows = append(rows, row)
+	}
+
 	doc := benchFile{
 		Schema:     benchSchema,
 		GoVersion:  runtime.Version(),
@@ -285,6 +297,50 @@ func run(out string, short bool, reps int) error {
 	}
 	log.Printf("benchmark report written to %s", out)
 	return nil
+}
+
+// timeApply benchmarks the engine's apply paths on an already-extracted
+// result: ApplySingle (one RHS through ApplyInto) and ApplyBatch (16 RHS
+// through ApplyBatchInto on all CPUs). Applies are microseconds, so each
+// timed sample loops enough iterations to be clock-robust and reports the
+// per-op time; best-of-reps like the extraction rows.
+func timeApply(res *core.Result, reps int) []benchRow {
+	eng := res.Engine()
+	n := res.N()
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i%13) - 6
+	}
+	out := make([]float64, n)
+	const batchCols = 16
+	xs := make([][]float64, batchCols)
+	dst := make([][]float64, batchCols)
+	for i := range xs {
+		xs[i] = x
+		dst[i] = make([]float64, n)
+	}
+	const iters = 100
+	sample := func(op func()) float64 {
+		op() // warm scratch so steady state is what gets timed
+		best := 0.0
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				op()
+			}
+			d := time.Since(start).Seconds() / iters
+			if r == 0 || d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	single := sample(func() { eng.ApplyInto(out, x) })
+	batch := sample(func() { eng.ApplyBatchInto(dst, xs, 0) })
+	return []benchRow{
+		{Name: "ApplySingle", Method: res.Method.String(), Workers: 1, Reps: reps, SecondsPerOp: single, MeanSeconds: single},
+		{Name: "ApplyBatch16", Method: res.Method.String(), Workers: 0, Reps: reps, SecondsPerOp: batch, MeanSeconds: batch},
+	}
 }
 
 // timeExtract runs the extraction reps times and keeps the best and mean

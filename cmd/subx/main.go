@@ -14,15 +14,19 @@
 package main
 
 import (
+	"encoding/binary"
 	"expvar"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"log"
+	"math"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the -pprof server
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -32,6 +36,7 @@ import (
 	"subcouple/internal/fd"
 	"subcouple/internal/geom"
 	"subcouple/internal/metrics"
+	"subcouple/internal/model"
 	"subcouple/internal/obs"
 	"subcouple/internal/render"
 	"subcouple/internal/solver"
@@ -59,7 +64,8 @@ func run(args []string, out io.Writer) error {
 		threshold  = fs.Float64("threshold", 6, "extra thresholding factor for Gwt (0 = off)")
 		check      = fs.Bool("check", false, "extract exact G naively and report entrywise errors (slow)")
 		spy        = fs.Bool("spy", false, "print spy plots of Gw (and Gwt)")
-		save       = fs.String("save", "", "write the extracted model (gob) to this file")
+		save       = fs.String("save", "", "write the extracted model artifact (subcouple-model/v1 binary) to this file")
+		load       = fs.String("load", "", "load a model artifact written by -save and serve it instead of extracting (zero substrate solves)")
 		probes     = fs.Int("probes", 0, "stochastic error estimate with this many probe solves")
 		workers    = fs.Int("workers", 0, "worker pool size for parallel extraction (0 = all CPUs, 1 = serial); results are identical for any value")
 		report     = fs.String("report", "", "write a JSON run report (phase timings, solve counts, iteration histograms, numerics, result metrics) to this file")
@@ -90,71 +96,103 @@ func run(args []string, out io.Writer) error {
 		}()
 	}
 
-	// 1. Layout.
-	var raw *geom.Layout
-	switch *layoutKind {
-	case "regular":
-		raw = geom.RegularGrid(*surface, *surface, *n, *n, *surface/float64(*n)/2)
-	case "irregular":
-		raw = geom.IrregularSameSize(*surface, *surface, *n, *n, *surface/float64(*n)/2, 0.6, 7)
-	case "alternating":
-		raw = geom.AlternatingGrid(*surface, *surface, *n, *n, 1, *surface/float64(*n)-1)
-	case "mixed":
-		raw = geom.MixedShapes(*surface)
-	default:
-		return fmt.Errorf("unknown layout %q", *layoutKind)
-	}
-	if err := raw.Validate(); err != nil {
-		return fmt.Errorf("layout: %w", err)
-	}
-	layout, maxLevel := core.Prepare(raw, 4)
-	log.Printf("layout %s: %d contacts (%d after splitting), quadtree depth %d",
-		raw.Name, raw.N(), layout.N(), maxLevel)
-
-	// 2. Black-box solver on the thesis substrate (two layers, 100:1
-	// conductivity, resistive shim approximating a floating backplane).
-	prof := substrate.TwoLayer(*surface, *depth, 1, true)
-	var s solver.Solver
-	switch *solverKind {
-	case "bem":
-		np := 1
-		for np < int(*surface) {
-			np *= 2
-		}
-		b, err := bem.New(prof, layout, np)
-		if err != nil {
-			return fmt.Errorf("bem solver: %w", err)
-		}
-		b.Workers = *workers
-		log.Printf("eigenfunction solver: %d panels per side, %d contact panels", np, b.NumPanels())
-		s = b
-	case "fd":
-		prof.Layers[0].Thickness = 2 // align the layer boundary with the grid
-		prof.Layers[1].Thickness = *depth - 3
-		f, err := fd.New(prof, layout, fd.Options{
-			H: 1, Placement: fd.Inside, Precond: fd.PrecondFastPoisson, AreaWeighted: true,
-			Workers: *workers,
-		})
-		if err != nil {
-			return fmt.Errorf("fd solver: %w", err)
-		}
-		log.Printf("finite-difference solver: %d grid nodes", f.NumNodes())
-		s = f
-	default:
-		return fmt.Errorf("unknown solver %q", *solverKind)
-	}
-
-	// 3. Extract.
+	var (
+		res      *core.Result
+		s        solver.Solver // nil when serving a loaded model
+		maxLevel int
+	)
 	m := core.LowRank
 	if strings.HasPrefix(*method, "wave") {
 		m = core.Wavelet
 	}
-	res, err := core.Extract(s, layout, core.Options{
-		Method: m, MaxLevel: maxLevel, ThresholdFactor: *threshold, Workers: *workers,
-		Recorder: rec, Tracer: tracer,
-	})
-	if err != nil {
-		return fmt.Errorf("extract: %w", err)
+	if *load != "" {
+		// Serving path: decode the artifact and apply it. No layout
+		// generation, no solver, zero substrate solves.
+		if *check || *probes > 0 {
+			return fmt.Errorf("-check and -probes need a live solver and cannot be combined with -load")
+		}
+		f, err := os.Open(*load)
+		if err != nil {
+			return fmt.Errorf("load: %w", err)
+		}
+		mdl, err := model.Read(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("load %s: %w", *load, err)
+		}
+		res, err = core.FromModel(mdl)
+		if err != nil {
+			return fmt.Errorf("load %s: %w", *load, err)
+		}
+		res.Engine().SetObs(rec, tracer)
+		m = res.Method
+		maxLevel, _ = strconv.Atoi(mdl.Meta["max_level"])
+		log.Printf("model %s: %s, %d contacts, extracted with %d solves (this run: 0)",
+			*load, mdl.Method, mdl.N, mdl.Solves)
+	} else {
+		// 1. Layout.
+		var raw *geom.Layout
+		switch *layoutKind {
+		case "regular":
+			raw = geom.RegularGrid(*surface, *surface, *n, *n, *surface/float64(*n)/2)
+		case "irregular":
+			raw = geom.IrregularSameSize(*surface, *surface, *n, *n, *surface/float64(*n)/2, 0.6, 7)
+		case "alternating":
+			raw = geom.AlternatingGrid(*surface, *surface, *n, *n, 1, *surface/float64(*n)-1)
+		case "mixed":
+			raw = geom.MixedShapes(*surface)
+		default:
+			return fmt.Errorf("unknown layout %q", *layoutKind)
+		}
+		if err := raw.Validate(); err != nil {
+			return fmt.Errorf("layout: %w", err)
+		}
+		var layout *geom.Layout
+		layout, maxLevel = core.Prepare(raw, 4)
+		log.Printf("layout %s: %d contacts (%d after splitting), quadtree depth %d",
+			raw.Name, raw.N(), layout.N(), maxLevel)
+
+		// 2. Black-box solver on the thesis substrate (two layers, 100:1
+		// conductivity, resistive shim approximating a floating backplane).
+		prof := substrate.TwoLayer(*surface, *depth, 1, true)
+		switch *solverKind {
+		case "bem":
+			np := 1
+			for np < int(*surface) {
+				np *= 2
+			}
+			b, err := bem.New(prof, layout, np)
+			if err != nil {
+				return fmt.Errorf("bem solver: %w", err)
+			}
+			b.Workers = *workers
+			log.Printf("eigenfunction solver: %d panels per side, %d contact panels", np, b.NumPanels())
+			s = b
+		case "fd":
+			prof.Layers[0].Thickness = 2 // align the layer boundary with the grid
+			prof.Layers[1].Thickness = *depth - 3
+			f, err := fd.New(prof, layout, fd.Options{
+				H: 1, Placement: fd.Inside, Precond: fd.PrecondFastPoisson, AreaWeighted: true,
+				Workers: *workers,
+			})
+			if err != nil {
+				return fmt.Errorf("fd solver: %w", err)
+			}
+			log.Printf("finite-difference solver: %d grid nodes", f.NumNodes())
+			s = f
+		default:
+			return fmt.Errorf("unknown solver %q", *solverKind)
+		}
+
+		// 3. Extract.
+		var err error
+		res, err = core.Extract(s, layout, core.Options{
+			Method: m, MaxLevel: maxLevel, ThresholdFactor: *threshold, Workers: *workers,
+			Recorder: rec, Tracer: tracer,
+		})
+		if err != nil {
+			return fmt.Errorf("extract: %w", err)
+		}
 	}
 	if tracer != nil {
 		// Span overflow folds into the report's drop counters — a trace that
@@ -165,12 +203,22 @@ func run(args []string, out io.Writer) error {
 	// 4. Report.
 	fmt.Fprintf(out, "\nmethod:            %v\n", m)
 	fmt.Fprintf(out, "contacts:          %d\n", res.N())
-	fmt.Fprintf(out, "black-box solves:  %d (naive: %d, reduction %.1fx)\n",
-		res.Solves, res.N(), metrics.SolveReduction(res.N(), res.Solves))
+	if *load != "" {
+		fmt.Fprintf(out, "black-box solves:  0 (loaded model; extraction spent %d)\n", res.Model().Solves)
+	} else {
+		fmt.Fprintf(out, "black-box solves:  %d (naive: %d, reduction %.1fx)\n",
+			res.Solves, res.N(), metrics.SolveReduction(res.N(), res.Solves))
+	}
 	fmt.Fprintf(out, "Gw sparsity:       %.1fx (%d nonzeros)\n", res.Gw.Sparsity(), res.Gw.NNZ())
 	fmt.Fprintf(out, "Q sparsity:        %.1fx\n", res.Q().Sparsity())
 	if res.Gwt != nil {
 		fmt.Fprintf(out, "Gwt sparsity:      %.1fx (%d nonzeros)\n", res.Gwt.Sparsity(), res.Gwt.NNZ())
+	}
+	if *save != "" || *load != "" {
+		// The fingerprint hashes the bit patterns of deterministic probe
+		// applies (single and batched), so a saved and a reloaded model can
+		// be cross-checked for bitwise-identical serving from the CLI alone.
+		fmt.Fprintf(out, "apply fingerprint: %016x\n", applyFingerprint(res, *workers))
 	}
 
 	if *check {
@@ -188,9 +236,10 @@ func run(args []string, out io.Writer) error {
 	}
 
 	// The run report always carries the stochastic error estimate; -probes
-	// only overrides how many probe solves it spends.
+	// only overrides how many probe solves it spends. A loaded model has no
+	// solver to probe against, so the serving path skips it.
 	var est *core.ErrorEstimate
-	if *probes > 0 || *report != "" {
+	if (*probes > 0 || *report != "") && s != nil {
 		e, err := res.EstimateError(s, *probes, false)
 		if err != nil {
 			return fmt.Errorf("error estimate: %w", err)
@@ -201,17 +250,14 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *save != "" {
-		f, err := os.Create(*save)
+		data, err := model.Encode(res.Model())
 		if err != nil {
 			return fmt.Errorf("save: %w", err)
 		}
-		if err := res.Model().Write(f); err != nil {
+		if err := os.WriteFile(*save, data, 0o644); err != nil {
 			return fmt.Errorf("save: %w", err)
 		}
-		if err := f.Close(); err != nil {
-			return fmt.Errorf("save: %w", err)
-		}
-		log.Printf("model written to %s", *save)
+		log.Printf("model artifact written to %s (%d bytes)", *save, len(data))
 	}
 
 	if *spy {
@@ -322,6 +368,40 @@ var (
 	expvarOnce sync.Once
 	expvarRec  atomic.Pointer[obs.Recorder]
 )
+
+// applyFingerprint hashes the exact bit patterns of deterministic probe
+// applies — one single-RHS Apply (plus ApplyThresholded when present) and
+// one 3-column ApplyBatch — with FNV-1a. The probes depend only on the
+// contact count, so a `subx -save` run and a later `subx -load` run print
+// the same fingerprint exactly when the artifact round trip and the batched
+// engine are bitwise faithful.
+func applyFingerprint(res *core.Result, workers int) uint64 {
+	n := res.N()
+	probe := func(shift int) []float64 {
+		x := make([]float64, n)
+		for i := range x {
+			// Pure integer arithmetic: reproducible across platforms.
+			x[i] = float64((i*2654435761+shift*40503)%1024)/512 - 1
+		}
+		return x
+	}
+	h := fnv.New64a()
+	var b [8]byte
+	mix := func(vs []float64) {
+		for _, v := range vs {
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+			h.Write(b[:])
+		}
+	}
+	mix(res.Apply(probe(0)))
+	if res.Gwt != nil {
+		mix(res.ApplyThresholded(probe(0)))
+	}
+	for _, y := range res.Engine().ApplyBatch([][]float64{probe(1), probe(2), probe(3)}, workers) {
+		mix(y)
+	}
+	return h.Sum64()
+}
 
 func publishExpvars(rec *obs.Recorder) {
 	expvarRec.Store(rec)

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"sort"
+	"strings"
 	"testing"
 
 	"subcouple/internal/obs"
@@ -284,9 +285,74 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	for _, args := range [][]string{
 		{"-layout", "nope"},
 		{"-solver", "nope", "-n", "4", "-surface", "16"},
+		{"-load", "/nonexistent/model.scm"},
 	} {
 		if err := run(args, &out); err == nil {
 			t.Errorf("args %v: expected error", args)
 		}
+	}
+}
+
+// fingerprintLine extracts the "apply fingerprint" value from subx output.
+func fingerprintLine(t *testing.T, out string) string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "apply fingerprint:") {
+			return strings.TrimSpace(strings.TrimPrefix(line, "apply fingerprint:"))
+		}
+	}
+	t.Fatalf("no apply fingerprint in output:\n%s", out)
+	return ""
+}
+
+// TestSaveLoadRoundTrip is the CLI face of the serving guarantee: an
+// artifact written by -save and reloaded with -load reports zero substrate
+// solves and an identical apply fingerprint (so serving is bitwise faithful),
+// for both sparsification methods.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	for _, method := range []string{"lowrank", "wavelet"} {
+		t.Run(method, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "model.scm")
+			var saveOut bytes.Buffer
+			args := []string{"-layout", "regular", "-n", "8", "-surface", "32", "-method", method}
+			if err := run(append(args, "-save", path), &saveOut); err != nil {
+				t.Fatalf("save run: %v", err)
+			}
+			savedFP := fingerprintLine(t, saveOut.String())
+
+			var loadOut bytes.Buffer
+			if err := run([]string{"-load", path}, &loadOut); err != nil {
+				t.Fatalf("load run: %v", err)
+			}
+			if got := fingerprintLine(t, loadOut.String()); got != savedFP {
+				t.Fatalf("fingerprint changed across save/load: %s vs %s\nsave output:\n%s\nload output:\n%s",
+					savedFP, got, saveOut.String(), loadOut.String())
+			}
+			if !strings.Contains(loadOut.String(), "black-box solves:  0 (loaded model") {
+				t.Fatalf("load run does not report zero solves:\n%s", loadOut.String())
+			}
+
+			// The serving path has no solver; flags needing one must be refused.
+			if err := run([]string{"-load", path, "-check"}, &loadOut); err == nil {
+				t.Error("-load with -check: expected error")
+			}
+			if err := run([]string{"-load", path, "-probes", "3"}, &loadOut); err == nil {
+				t.Error("-load with -probes: expected error")
+			}
+
+			// A corrupted artifact must be rejected, not served.
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)/2] ^= 0x01
+			bad := filepath.Join(t.TempDir(), "bad.scm")
+			if err := os.WriteFile(bad, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := run([]string{"-load", bad}, &loadOut); err == nil {
+				t.Error("corrupt artifact accepted by -load")
+			}
+		})
 	}
 }

@@ -9,10 +9,12 @@
 //
 // Usage:
 //
-//	tables [-table all|2.1|2.2|3.1|4.1|4.2|4.3] [-small] [-large]
+//	tables [-table all|2.1|2.2|3.1|4.1|4.2|4.3] [-small] [-large] [-models dir]
 //
 // -small shrinks the examples ~4x for a fast run; -large enables the
-// (slow) 10240-contact Example 5 of Table 4.3.
+// (slow) 10240-contact Example 5 of Table 4.3. -models caches extracted
+// model artifacts in a directory so repeated runs serve the saved models
+// instead of re-extracting (table numbers are identical either way).
 package main
 
 import (
@@ -37,11 +39,18 @@ func main() {
 	small := flag.Bool("small", false, "shrink examples ~4x for a fast run")
 	large := flag.Bool("large", false, "include the 10240-contact Example 5 (slow)")
 	workers := flag.Int("workers", 0, "worker pool size for parallel extraction (0 = all CPUs, 1 = serial); results are identical for any value")
+	models := flag.String("models", "", "cache extracted model artifacts in this directory and serve them on later runs (created if missing)")
 	report := flag.String("report", "", "write a JSON run report aggregating phase timings and iteration histograms across the run to this file")
 	trace := flag.String("trace", "", "write a Chrome trace-event JSON file spanning the whole run to this file (open in Perfetto or chrome://tracing)")
 	flag.Parse()
 	log.SetFlags(log.Ltime)
 	experiments.Workers = *workers
+	if *models != "" {
+		if err := os.MkdirAll(*models, 0o755); err != nil {
+			log.Fatalf("models dir: %v", err)
+		}
+		experiments.ModelDir = *models
+	}
 	if *report != "" {
 		experiments.Recorder = obs.NewRecorder()
 	}

@@ -17,6 +17,7 @@ import (
 
 	"subcouple/internal/geom"
 	"subcouple/internal/lowrank"
+	"subcouple/internal/model"
 	"subcouple/internal/obs"
 	"subcouple/internal/quadtree"
 	"subcouple/internal/solver"
@@ -90,20 +91,28 @@ func Prepare(l *geom.Layout, maxPerSquare int) (*geom.Layout, int) {
 	return l.SplitToGrid(l.A / float64(int(1)<<lev)), lev
 }
 
-// Result is an extracted sparse representation of G.
+// Result is an extracted (or loaded) sparse representation of G. It wraps a
+// serializable model.Model — the operator itself — together with an apply
+// engine holding reusable scratch buffers, so Column/Apply calls don't
+// allocate intermediates.
 type Result struct {
 	Method Method
 	Layout *geom.Layout
-	Tree   *quadtree.Tree
+	// Tree is the extraction quadtree; nil on a Result reconstructed from a
+	// serialized model (the model carries everything needed to apply).
+	Tree *quadtree.Tree
 	// Gw is the transformed-basis matrix with the algorithm's native
 	// (locality-assumed) sparsity; Gwt is the additionally thresholded
-	// version (nil unless ThresholdFactor > 0).
+	// version (nil unless ThresholdFactor > 0). Both alias the model's
+	// matrices.
 	Gw, Gwt *sparse.Matrix
-	// Solves is the number of black-box calls used.
+	// Solves is the number of black-box calls used. Zero on a Result loaded
+	// from a model artifact: the load path performs no substrate solves (the
+	// extraction-time count is in Model().Solves).
 	Solves int
 
-	wb *wavelet.Basis
-	lt *lowrank.Transformed
+	model  *model.Model
+	engine *model.Engine
 }
 
 // Extract runs the selected sparsification algorithm. The layout must
@@ -138,6 +147,7 @@ func Extract(s solver.Solver, layout *geom.Layout, opt Options) (*Result, error)
 	defer rootSpan.End()
 	res := &Result{Method: opt.Method, Layout: layout, Tree: tree}
 
+	m := &model.Model{Method: opt.Method.String(), N: layout.N(), Layout: layout}
 	switch opt.Method {
 	case Wavelet:
 		p := opt.MomentOrder
@@ -156,7 +166,16 @@ func Extract(s solver.Solver, layout *geom.Layout, opt Options) (*Result, error)
 		if err != nil {
 			return nil, err
 		}
-		res.wb = b
+		// The model stores the O(n) factored chain of §3.4.3, not the
+		// explicit sparse Q: every apply from here on (including this
+		// Result's own) goes through it.
+		f, err := b.Factored()
+		if err != nil {
+			return nil, err
+		}
+		m.Kind = model.QFactored
+		m.Levels = f.ExportLevels()
+		m.Order = b.ColumnOrder()
 	case LowRank:
 		lopt := opt.LowRank
 		if lopt.MaxRank == 0 && lopt.RankTol == 0 {
@@ -173,7 +192,9 @@ func Extract(s solver.Solver, layout *geom.Layout, opt Options) (*Result, error)
 		}
 		tr := rep.Transform()
 		res.Gw = tr.Gw
-		res.lt = tr
+		m.Kind = model.QColumns
+		m.Cols = tr.ExportColumns()
+		m.Order = tr.ColumnOrder()
 	default:
 		return nil, fmt.Errorf("core: unknown method %v", opt.Method)
 	}
@@ -186,6 +207,16 @@ func Extract(s solver.Solver, layout *geom.Layout, opt Options) (*Result, error)
 		tsp.Arg("nnz", res.Gwt.NNZ()).End()
 		stop()
 	}
+	m.Gw = res.Gw
+	m.Gwt = res.Gwt
+	m.Solves = res.Solves
+	m.Meta = map[string]string{
+		"max_level":        fmt.Sprint(opt.MaxLevel),
+		"threshold_factor": fmt.Sprint(opt.ThresholdFactor),
+	}
+	res.model = m
+	res.engine = model.NewEngine(m)
+	res.engine.SetObs(opt.Recorder, opt.Tracer)
 	return res, nil
 }
 
@@ -193,7 +224,11 @@ func Extract(s solver.Solver, layout *geom.Layout, opt Options) (*Result, error)
 func (r *Result) N() int { return r.Layout.N() }
 
 // Apply computes Q·Gw·Qᵀ·x, the sparsified conductance operator.
-func (r *Result) Apply(x []float64) []float64 { return r.apply(r.Gw, x) }
+func (r *Result) Apply(x []float64) []float64 {
+	out := make([]float64, r.N())
+	r.engine.ApplyInto(out, x)
+	return out
+}
 
 // ApplyThresholded computes Q·Gwt·Qᵀ·x (panics if no threshold was
 // requested).
@@ -201,63 +236,40 @@ func (r *Result) ApplyThresholded(x []float64) []float64 {
 	if r.Gwt == nil {
 		panic("core: no thresholded representation (set Options.ThresholdFactor)")
 	}
-	return r.apply(r.Gwt, x)
+	out := make([]float64, r.N())
+	r.engine.ApplyThresholdedInto(out, x)
+	return out
 }
 
-func (r *Result) apply(gw *sparse.Matrix, x []float64) []float64 {
-	if r.wb != nil {
-		return r.wb.Apply(gw, x)
-	}
-	return r.lt.Apply(gw, x)
-}
-
-// Column returns column j of the sparsified G (using Gw).
+// Column returns column j of the sparsified G (using Gw). Only the returned
+// slice is allocated — the unit vector and intermediates come from the
+// engine's scratch. Callers that can reuse an output buffer should use
+// Engine().ColumnInto directly.
 func (r *Result) Column(j int) []float64 {
-	x := make([]float64, r.N())
-	x[j] = 1
-	return r.Apply(x)
+	out := make([]float64, r.N())
+	r.engine.ColumnInto(out, j)
+	return out
 }
 
 // ColumnThresholded returns column j of the thresholded representation.
 func (r *Result) ColumnThresholded(j int) []float64 {
-	x := make([]float64, r.N())
-	x[j] = 1
-	return r.ApplyThresholded(x)
+	if r.Gwt == nil {
+		panic("core: no thresholded representation (set Options.ThresholdFactor)")
+	}
+	out := make([]float64, r.N())
+	r.engine.ColumnThresholdedInto(out, j)
+	return out
 }
 
 // Q materializes the sparse orthogonal change-of-basis matrix in the
 // presentation ordering used for spy plots.
-func (r *Result) Q() *sparse.Matrix {
-	if r.wb != nil {
-		return r.wb.Q()
-	}
-	return r.lt.Q()
-}
+func (r *Result) Q() *sparse.Matrix { return r.model.Q() }
 
 // GwReordered returns Gw (or Gwt when thresholded is true) permuted into
 // the Q presentation ordering, for spy plots.
 func (r *Result) GwReordered(thresholded bool) *sparse.Matrix {
-	gw := r.Gw
-	if thresholded {
-		if r.Gwt == nil {
-			panic("core: no thresholded representation")
-		}
-		gw = r.Gwt
+	if thresholded && r.Gwt == nil {
+		panic("core: no thresholded representation")
 	}
-	if r.lt != nil {
-		return r.lt.GwReordered(gw)
-	}
-	// Wavelet: permute with the basis column order.
-	order := r.wb.ColumnOrder()
-	pos := make([]int, len(order))
-	for newIdx, oldIdx := range order {
-		pos[oldIdx] = newIdx
-	}
-	var ts []sparse.Triplet
-	for row := 0; row < gw.Rows; row++ {
-		for k := gw.RowPtr[row]; k < gw.RowPtr[row+1]; k++ {
-			ts = append(ts, sparse.Triplet{Row: pos[row], Col: pos[gw.ColIdx[k]], Val: gw.Val[k]})
-		}
-	}
-	return sparse.FromTriplets(gw.Rows, gw.Cols, ts)
+	return r.model.GwReordered(thresholded)
 }

@@ -1,77 +1,46 @@
 package core
 
 import (
-	"encoding/gob"
 	"fmt"
-	"io"
 
-	"subcouple/internal/sparse"
+	"subcouple/internal/model"
 )
 
-// Model is a self-contained, serializable sparsified substrate-coupling
-// model: the sparse orthogonal Q and the transformed conductance matrices,
-// detached from the extraction machinery. This is what a downstream tool
-// (e.g. a circuit simulator embedding the substrate model, thesis §1.1 and
-// [11]) stores and loads — extraction happens once, application is a pair
-// of sparse matvecs.
-type Model struct {
-	N      int
-	Method string
-	Q      *sparse.Matrix
-	Gw     *sparse.Matrix
-	Gwt    *sparse.Matrix // nil if no thresholding was requested
-	Solves int
-}
+// Model returns the serializable model behind this result: everything needed
+// to apply G ≈ Q·Gw·Qᵀ without the extraction machinery (encode it with
+// model.Encode / model.Write). The model shares storage with the Result.
+func (r *Result) Model() *model.Model { return r.model }
 
-// Model packages the extraction result for persistence.
-func (r *Result) Model() *Model {
-	m := &Model{
-		N:      r.N(),
-		Method: r.Method.String(),
-		Q:      r.Q(),
-		Gw:     r.GwReordered(false),
-		Solves: r.Solves,
-	}
-	if r.Gwt != nil {
-		m.Gwt = r.GwReordered(true)
-	}
-	return m
-}
+// Engine returns the result's apply engine (scratch-buffered ApplyInto /
+// ColumnInto / ApplyBatch). The engine is not safe for concurrent use; spawn
+// extra engines with model.NewEngine(r.Model()) for concurrent streams.
+func (r *Result) Engine() *model.Engine { return r.engine }
 
-// Apply computes Q·Gw·Qᵀ·x.
-func (m *Model) Apply(x []float64) []float64 { return m.apply(m.Gw, x) }
-
-// ApplyThresholded computes Q·Gwt·Qᵀ·x.
-func (m *Model) ApplyThresholded(x []float64) []float64 {
-	if m.Gwt == nil {
-		panic("core: model has no thresholded matrix")
+// FromModel reconstructs a Result from a decoded model artifact. No
+// substrate solves happen on this path — the returned Result reports
+// Solves == 0 (the extraction-time count stays available as m.Solves) — and
+// its Apply/Column outputs are bitwise identical to the extraction-time
+// Result's, because both route through the same engine representation.
+func FromModel(m *model.Model) (*Result, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
 	}
-	return m.apply(m.Gwt, x)
-}
-
-func (m *Model) apply(gw *sparse.Matrix, x []float64) []float64 {
-	if len(x) != m.N {
-		panic(fmt.Sprintf("core: model apply: %d voltages for %d contacts", len(x), m.N))
+	var method Method
+	switch m.Method {
+	case Wavelet.String():
+		method = Wavelet
+	case LowRank.String():
+		method = LowRank
+	default:
+		return nil, fmt.Errorf("core: model extracted with unknown method %q", m.Method)
 	}
-	return m.Q.MulVec(gw.MulVec(m.Q.MulVecT(x)))
-}
-
-// Write serializes the model with encoding/gob.
-func (m *Model) Write(w io.Writer) error {
-	return gob.NewEncoder(w).Encode(m)
-}
-
-// ReadModel deserializes a model written by Write.
-func ReadModel(r io.Reader) (*Model, error) {
-	var m Model
-	if err := gob.NewDecoder(r).Decode(&m); err != nil {
-		return nil, fmt.Errorf("core: reading model: %w", err)
-	}
-	if m.Q == nil || m.Gw == nil || m.N <= 0 {
-		return nil, fmt.Errorf("core: model file incomplete")
-	}
-	if m.Q.Rows != m.N || m.Q.Cols != m.N || m.Gw.Rows != m.N || m.Gw.Cols != m.N {
-		return nil, fmt.Errorf("core: model dimensions inconsistent")
-	}
-	return &m, nil
+	return &Result{
+		Method: method,
+		Layout: m.Layout,
+		Gw:     m.Gw,
+		Gwt:    m.Gwt,
+		Solves: 0,
+		model:  m,
+		engine: model.NewEngine(m),
+	}, nil
 }

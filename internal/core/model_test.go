@@ -1,76 +1,89 @@
 package core
 
 import (
-	"bytes"
-	"math"
 	"testing"
 
+	"subcouple/internal/model"
 	"subcouple/internal/solver"
 )
 
+// TestModelRoundTrip pins the serving-path contract at the core level: the
+// model behind a Result encodes, decodes, and reconstructs into a Result
+// whose Apply/Column outputs are bitwise identical to the original's, with
+// zero substrate solves spent on the load path.
 func TestModelRoundTrip(t *testing.T) {
 	layout, g := setup(t)
-	for _, m := range []Method{Wavelet, LowRank} {
-		res, err := Extract(solver.NewDense(g), layout, Options{Method: m, MaxLevel: 4, ThresholdFactor: 6})
+	for _, meth := range []Method{Wavelet, LowRank} {
+		res, err := Extract(solver.NewDense(g), layout, Options{Method: meth, MaxLevel: 4, ThresholdFactor: 6})
 		if err != nil {
 			t.Fatal(err)
 		}
-		model := res.Model()
-		if model.N != res.N() || model.Method != m.String() || model.Solves != res.Solves {
-			t.Fatalf("%v: model metadata wrong: %+v", m, model)
+		m := res.Model()
+		if m.N != res.N() || m.Method != meth.String() || m.Solves != res.Solves {
+			t.Fatalf("%v: model metadata wrong: N=%d method=%q solves=%d", meth, m.N, m.Method, m.Solves)
 		}
 
-		// The model's apply must equal the Result's (same operator, just a
-		// permuted internal basis).
-		x := make([]float64, res.N())
-		for i := range x {
-			x[i] = math.Sin(float64(i) * 1.3)
-		}
-		want := res.Apply(x)
-		got := model.Apply(x)
-		for i := range got {
-			if math.Abs(got[i]-want[i]) > 1e-9 {
-				t.Fatalf("%v: model apply deviates at %d: %g vs %g", m, i, got[i], want[i])
-			}
-		}
-		wantT := res.ApplyThresholded(x)
-		gotT := model.ApplyThresholded(x)
-		for i := range gotT {
-			if math.Abs(gotT[i]-wantT[i]) > 1e-9 {
-				t.Fatalf("%v: thresholded model apply deviates at %d", m, i)
-			}
-		}
-
-		// Serialize and reload.
-		var buf bytes.Buffer
-		if err := model.Write(&buf); err != nil {
-			t.Fatal(err)
-		}
-		loaded, err := ReadModel(&buf)
+		data, err := model.Encode(m)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got2 := loaded.Apply(x)
-		for i := range got2 {
-			if got2[i] != got[i] {
-				t.Fatalf("%v: reloaded model differs at %d", m, i)
-			}
+		decoded, err := model.Decode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := FromModel(decoded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loaded.Solves != 0 {
+			t.Fatalf("%v: load path reports %d solves, want 0", meth, loaded.Solves)
+		}
+		if loaded.Model().Solves != res.Solves {
+			t.Fatalf("%v: extraction-time solve count lost: %d vs %d", meth, loaded.Model().Solves, res.Solves)
 		}
 		if loaded.Gwt == nil {
-			t.Fatalf("%v: thresholded matrix lost in serialization", m)
+			t.Fatalf("%v: thresholded matrix lost in serialization", meth)
+		}
+
+		x := make([]float64, res.N())
+		for i := range x {
+			x[i] = float64(i%9) - 4
+		}
+		for name, pair := range map[string][2][]float64{
+			"Apply":            {res.Apply(x), loaded.Apply(x)},
+			"ApplyThresholded": {res.ApplyThresholded(x), loaded.ApplyThresholded(x)},
+			"Column":           {res.Column(3), loaded.Column(3)},
+			"ColumnThresh":     {res.ColumnThresholded(3), loaded.ColumnThresholded(3)},
+		} {
+			for i := range pair[0] {
+				if pair[0][i] != pair[1][i] {
+					t.Fatalf("%v: %s[%d] = %v loaded vs %v extracted (not bitwise identical)",
+						meth, name, i, pair[1][i], pair[0][i])
+				}
+			}
+		}
+
+		// Deterministic encoding: re-encoding the decoded model reproduces
+		// the artifact byte for byte.
+		data2, err := model.Encode(loaded.Model())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != string(data2) {
+			t.Fatalf("%v: re-encoded artifact differs from original", meth)
 		}
 	}
 }
 
-func TestReadModelRejectsGarbage(t *testing.T) {
-	if _, err := ReadModel(bytes.NewReader([]byte("not a model"))); err == nil {
-		t.Fatalf("expected decode error")
-	}
-	var buf bytes.Buffer
-	if err := (&Model{N: 0}).Write(&buf); err != nil {
+func TestFromModelRejectsUnknownMethod(t *testing.T) {
+	layout, g := setup(t)
+	res, err := Extract(solver.NewDense(g), layout, Options{Method: LowRank, MaxLevel: 4})
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ReadModel(&buf); err == nil {
-		t.Fatalf("expected incompleteness error")
+	m := *res.Model()
+	m.Method = "simulated-annealing"
+	if _, err := FromModel(&m); err == nil {
+		t.Fatal("expected unknown-method error")
 	}
 }

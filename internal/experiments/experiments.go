@@ -6,6 +6,8 @@ package experiments
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"time"
 
 	"subcouple/internal/bem"
@@ -15,6 +17,7 @@ import (
 	"subcouple/internal/la"
 	"subcouple/internal/lowrank"
 	"subcouple/internal/metrics"
+	"subcouple/internal/model"
 	"subcouple/internal/obs"
 	"subcouple/internal/solver"
 	"subcouple/internal/substrate"
@@ -37,6 +40,17 @@ var Recorder *obs.Recorder
 // trace-event file spanning the whole run. Tracing never changes any table
 // result.
 var Tracer *obs.Tracer
+
+// ModelDir, when non-empty, is a model-artifact cache directory for the
+// default-option sparsify runners: a run first looks for
+// <case>-<method>.scm there and serves the saved model (zero substrate
+// solves) instead of re-extracting; on a miss the freshly extracted model
+// is saved for the next run. Table statistics are unchanged either way —
+// solve counts always report the extraction that produced the model, and
+// every other number is computed from the (bitwise-identical) served
+// operator. Ablation runs with non-default low-rank options bypass the
+// cache. cmd/tables sets it from its -models flag.
+var ModelDir string
 
 // Case is one thesis example: a layout on the standard substrate.
 type Case struct {
@@ -158,13 +172,14 @@ type SparsifyStats struct {
 // accuracy entrywise against it. sampleCols > 0 limits the error
 // measurement to that many evenly spread columns.
 func RunSparsify(c Case, g *la.Dense, method core.Method, sampleCols int) (SparsifyStats, error) {
-	return runSparsify(c, solver.NewDense(g), g, method, sampleCols, lowrank.DefaultOptions())
+	return runSparsify(c, solver.NewDense(g), g, method, sampleCols, lowrank.DefaultOptions(), true)
 }
 
 // RunSparsifyOpts is RunSparsify with explicit low-rank options (for
-// ablations).
+// ablations). It never uses the ModelDir cache — cached artifacts carry the
+// default options.
 func RunSparsifyOpts(c Case, g *la.Dense, method core.Method, sampleCols int, lopt lowrank.Options) (SparsifyStats, error) {
-	return runSparsify(c, solver.NewDense(g), g, method, sampleCols, lopt)
+	return runSparsify(c, solver.NewDense(g), g, method, sampleCols, lopt, false)
 }
 
 // RunSparsifyBlackBox extracts using a live black-box solver (for the large
@@ -176,11 +191,11 @@ func RunSparsifyBlackBox(c Case, s solver.Solver, method core.Method, sampleCols
 	if err != nil {
 		return SparsifyStats{}, err
 	}
-	st, err := runSparsifySampled(c, s, exact, cols, method, lowrank.DefaultOptions())
+	st, err := runSparsifySampled(c, s, exact, cols, method, lowrank.DefaultOptions(), true)
 	return st, err
 }
 
-func runSparsify(c Case, s solver.Solver, g *la.Dense, method core.Method, sampleCols int, lopt lowrank.Options) (SparsifyStats, error) {
+func runSparsify(c Case, s solver.Solver, g *la.Dense, method core.Method, sampleCols int, lopt lowrank.Options, cacheable bool) (SparsifyStats, error) {
 	cols := metrics.SampleColumns(c.Layout.N(), c.Layout.N())
 	if sampleCols > 0 {
 		cols = metrics.SampleColumns(c.Layout.N(), sampleCols)
@@ -189,24 +204,73 @@ func runSparsify(c Case, s solver.Solver, g *la.Dense, method core.Method, sampl
 	for ci, j := range cols {
 		exact.SetCol(ci, g.Col(j))
 	}
-	return runSparsifySampled(c, s, exact, cols, method, lopt)
+	return runSparsifySampled(c, s, exact, cols, method, lopt, cacheable)
 }
 
-func runSparsifySampled(c Case, s solver.Solver, exact *la.Dense, cols []int, method core.Method, lopt lowrank.Options) (SparsifyStats, error) {
-	start := time.Now()
-	res, err := core.Extract(s, c.Layout, core.Options{
-		Method: method, MaxLevel: c.MaxLevel, ThresholdFactor: 6, LowRank: lopt,
-		Workers: Workers, Recorder: Recorder, Tracer: Tracer,
-	})
+// modelPath names a case's cached artifact inside ModelDir.
+func modelPath(c Case, method core.Method) string {
+	return filepath.Join(ModelDir, fmt.Sprintf("%s-%s.scm", c.Name, method))
+}
+
+// loadCachedModel serves a previously saved artifact for the case, or nil on
+// any miss (absent, corrupt, or extracted for a different layout — the cache
+// is best-effort; a miss just re-extracts).
+func loadCachedModel(c Case, method core.Method) *core.Result {
+	data, err := os.ReadFile(modelPath(c, method))
 	if err != nil {
-		return SparsifyStats{}, fmt.Errorf("extract %s/%v: %w", c.Name, method, err)
+		return nil
+	}
+	m, err := model.Decode(data)
+	if err != nil || m.N != c.Layout.N() || m.Method != method.String() {
+		return nil
+	}
+	res, err := core.FromModel(m)
+	if err != nil {
+		return nil
+	}
+	res.Engine().SetObs(Recorder, Tracer)
+	return res
+}
+
+// saveCachedModel writes the freshly extracted model for future runs
+// (best-effort: a failed write only disables reuse).
+func saveCachedModel(c Case, method core.Method, res *core.Result) {
+	data, err := model.Encode(res.Model())
+	if err != nil {
+		return
+	}
+	_ = os.WriteFile(modelPath(c, method), data, 0o644)
+}
+
+func runSparsifySampled(c Case, s solver.Solver, exact *la.Dense, cols []int, method core.Method, lopt lowrank.Options, cacheable bool) (SparsifyStats, error) {
+	start := time.Now()
+	cached := ModelDir != "" && cacheable
+	var res *core.Result
+	if cached {
+		res = loadCachedModel(c, method)
+	}
+	if res == nil {
+		var err error
+		res, err = core.Extract(s, c.Layout, core.Options{
+			Method: method, MaxLevel: c.MaxLevel, ThresholdFactor: 6, LowRank: lopt,
+			Workers: Workers, Recorder: Recorder, Tracer: Tracer,
+		})
+		if err != nil {
+			return SparsifyStats{}, fmt.Errorf("extract %s/%v: %w", c.Name, method, err)
+		}
+		if cached {
+			saveCachedModel(c, method, res)
+		}
 	}
 	st := SparsifyStats{
-		Example:          c.Name,
-		Method:           method,
-		N:                c.Layout.N(),
-		Solves:           res.Solves,
-		SolveReduction:   metrics.SolveReduction(c.Layout.N(), res.Solves),
+		Example: c.Name,
+		Method:  method,
+		N:       c.Layout.N(),
+		// The model records the extraction that produced it, so solve
+		// statistics are identical whether this run extracted or served a
+		// cached artifact.
+		Solves:           res.Model().Solves,
+		SolveReduction:   metrics.SolveReduction(c.Layout.N(), res.Model().Solves),
 		SparsityGw:       res.Gw.Sparsity(),
 		SparsityQ:        res.Q().Sparsity(),
 		SparsityGwt:      res.Gwt.Sparsity(),

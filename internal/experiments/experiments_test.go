@@ -1,9 +1,13 @@
 package experiments
 
 import (
+	"os"
 	"testing"
 
 	"subcouple/internal/core"
+	"subcouple/internal/geom"
+	"subcouple/internal/lowrank"
+	"subcouple/internal/obs"
 	"subcouple/internal/solver"
 )
 
@@ -103,6 +107,66 @@ func TestTable22Smoke(t *testing.T) {
 		if r.ItersPerSolve <= 0 {
 			t.Fatalf("%s: no iterations recorded", r.Name)
 		}
+	}
+}
+
+// TestModelDirCache pins the -models reuse contract: with ModelDir set, the
+// first run saves an artifact, the second serves it — spending zero substrate
+// solves — and every table statistic except the timing is identical.
+func TestModelDirCache(t *testing.T) {
+	layout, maxLevel := core.Prepare(geom.RegularGrid(64, 64, 8, 8, 4), 4)
+	c := Case{"cache-test", layout, maxLevel, 0}
+	g := SyntheticG(c.Layout)
+	defer func() { ModelDir = ""; Recorder = nil }()
+	ModelDir = t.TempDir()
+	Recorder = nil
+
+	first, err := RunSparsify(c, g, core.LowRank, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(modelPath(c, core.LowRank)); err != nil {
+		t.Fatalf("first run did not save an artifact: %v", err)
+	}
+
+	// The second run must not issue a single solve: observe through a
+	// recorder, which counts every black-box call the extraction makes.
+	Recorder = obs.NewRecorder()
+	second, err := RunSparsify(c, g, core.LowRank, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := Recorder.Snapshot().Counters["solver/solves"]; n != 0 {
+		t.Fatalf("cached run issued %d substrate solves, want 0", n)
+	}
+
+	first.ExtractSeconds, second.ExtractSeconds = 0, 0
+	if first != second {
+		t.Fatalf("cached stats differ from extracted stats:\n%+v\n%+v", first, second)
+	}
+
+	// Ablation runs must bypass the cache (their options differ from the
+	// artifact's): the recorder must now see real solves.
+	lopt := lowrank.DefaultOptions()
+	lopt.MaxRank = 3
+	if _, err := RunSparsifyOpts(c, g, core.LowRank, 8, lopt); err != nil {
+		t.Fatal(err)
+	}
+	if n := Recorder.Snapshot().Counters["solver/solves"]; n == 0 {
+		t.Fatal("ablation run served the default-option cache")
+	}
+
+	// A corrupt artifact falls back to extraction instead of failing.
+	if err := os.WriteFile(modelPath(c, core.LowRank), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	third, err := RunSparsify(c, g, core.LowRank, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	third.ExtractSeconds = 0
+	if first != third {
+		t.Fatalf("fallback extraction stats differ:\n%+v\n%+v", first, third)
 	}
 }
 

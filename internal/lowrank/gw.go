@@ -3,6 +3,7 @@ package lowrank
 import (
 	"sort"
 
+	"subcouple/internal/model"
 	"subcouple/internal/par"
 	"subcouple/internal/quadtree"
 	"subcouple/internal/sparse"
@@ -261,4 +262,25 @@ func (tr *Transformed) ApproxColumn(gw *sparse.Matrix, j int) []float64 {
 	x := make([]float64, tr.N())
 	x[j] = 1
 	return tr.Apply(gw, x)
+}
+
+// ExportColumns flattens the per-column sparse vectors of Q into the
+// serializable CSC form of internal/model, preserving the per-column entry
+// order exactly — a model.Engine's apply loops then reproduce Apply's
+// accumulation order bit for bit.
+func (tr *Transformed) ExportColumns() *model.Columns {
+	colPtr := make([]int, len(tr.colVecs)+1)
+	for i, es := range tr.colVecs {
+		colPtr[i+1] = colPtr[i] + len(es)
+	}
+	nnz := colPtr[len(tr.colVecs)]
+	rowIdx := make([]int, 0, nnz)
+	vals := make([]float64, 0, nnz)
+	for _, es := range tr.colVecs {
+		for _, e := range es {
+			rowIdx = append(rowIdx, e.row)
+			vals = append(vals, e.val)
+		}
+	}
+	return &model.Columns{ColPtr: colPtr, RowIdx: rowIdx, Val: vals}
 }

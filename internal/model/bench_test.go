@@ -1,0 +1,98 @@
+package model_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"subcouple/internal/core"
+	"subcouple/internal/model"
+)
+
+// The Apply benchmarks pair the engine's scratch-buffered path against the
+// allocating Model.Apply convenience path (the ablation baseline): the engine
+// must show zero steady-state allocations.
+
+func BenchmarkApplyInto(b *testing.B) {
+	for _, method := range []core.Method{core.Wavelet, core.LowRank} {
+		res := extract256(b, method)
+		m := res.Model()
+		eng := model.NewEngine(m)
+		x := probeVec(m.N, 0)
+		out := make([]float64, m.N)
+		b.Run(method.String(), func(b *testing.B) {
+			eng.ApplyInto(out, x) // warm the scratch before counting
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.ApplyInto(out, x)
+			}
+		})
+		b.Run(method.String()+"/alloc-baseline", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = m.Apply(x)
+			}
+		})
+	}
+}
+
+func BenchmarkColumnInto(b *testing.B) {
+	for _, method := range []core.Method{core.Wavelet, core.LowRank} {
+		res := extract256(b, method)
+		eng := res.Engine()
+		out := make([]float64, res.N())
+		b.Run(method.String(), func(b *testing.B) {
+			eng.ColumnInto(out, 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.ColumnInto(out, i%res.N())
+			}
+		})
+	}
+}
+
+func BenchmarkApplyBatch(b *testing.B) {
+	const rhs = 16
+	for _, method := range []core.Method{core.Wavelet, core.LowRank} {
+		res := extract256(b, method)
+		m := res.Model()
+		eng := model.NewEngine(m)
+		xs := make([][]float64, rhs)
+		dst := make([][]float64, rhs)
+		for i := range xs {
+			xs[i] = probeVec(m.N, i)
+			dst[i] = make([]float64, m.N)
+		}
+		for _, workers := range []int{1, runtime.NumCPU()} {
+			b.Run(fmt.Sprintf("%s/workers=%d", method, workers), func(b *testing.B) {
+				eng.ApplyBatchInto(dst, xs, workers) // warm per-worker scratch pool
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng.ApplyBatchInto(dst, xs, workers)
+				}
+			})
+		}
+	}
+}
+
+// TestEngineSteadyStateAllocs enforces the zero-allocation contract as a test
+// (benchmarks alone would let a regression slip through CI).
+func TestEngineSteadyStateAllocs(t *testing.T) {
+	for _, method := range []core.Method{core.Wavelet, core.LowRank} {
+		m := extract256(t, method).Model()
+		eng := model.NewEngine(m)
+		x := probeVec(m.N, 0)
+		out := make([]float64, m.N)
+		eng.ApplyInto(out, x) // warm scratch
+		if avg := testing.AllocsPerRun(20, func() { eng.ApplyInto(out, x) }); avg != 0 {
+			t.Errorf("%v: ApplyInto allocates %.1f objects per call in steady state", method, avg)
+		}
+		eng.ColumnInto(out, 0)
+		if avg := testing.AllocsPerRun(20, func() { eng.ColumnInto(out, 1) }); avg != 0 {
+			t.Errorf("%v: ColumnInto allocates %.1f objects per call in steady state", method, avg)
+		}
+	}
+}

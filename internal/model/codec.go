@@ -1,0 +1,388 @@
+package model
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+
+	"subcouple/internal/geom"
+	"subcouple/internal/sparse"
+)
+
+// Artifact format "subcouple-model/v1" (the .scm files written by
+// subx -save):
+//
+//	offset 0   8 bytes   magic "SCMODEL\n"
+//	offset 8   4 bytes   format version (little-endian uint32, currently 1)
+//	offset 12  ...       payload (fields in the order codec.go reads them)
+//	tail       4 bytes   CRC32 (IEEE) of everything before it
+//
+// All integers are little-endian; floats are stored as their IEEE-754 bit
+// patterns (math.Float64bits), so Encode→Decode round trips are bitwise
+// exact. Encoding is deterministic (map keys are sorted), so equal models
+// produce byte-identical artifacts.
+//
+// Versioning policy: the version is bumped whenever the payload layout
+// changes; Decode rejects any version it does not know rather than guessing.
+// Validation is strict — a corrupt length, index, or checksum anywhere fails
+// the whole decode; there are no partial loads.
+
+// Magic is the artifact signature.
+const Magic = "SCMODEL\n"
+
+// Version is the current format version.
+const Version = 1
+
+// maxContacts bounds N during decode so corrupt headers cannot demand
+// absurd allocations (the thesis's largest example is 10240 contacts).
+const maxContacts = 1 << 24
+
+// Encode serializes the model. It refuses to encode a model that fails
+// Validate, so every written artifact is loadable.
+func Encode(m *Model) ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("model: encode: %w", err)
+	}
+	var e enc
+	e.raw([]byte(Magic))
+	e.u32(Version)
+
+	e.str(m.Method)
+	e.i(m.N)
+	e.i(m.Solves)
+	e.u8(uint8(m.Kind))
+	switch m.Kind {
+	case QColumns:
+		e.intsRaw(m.Cols.ColPtr) // length n+1 is implied by N
+		e.intsRaw(m.Cols.RowIdx) // length implied by ColPtr[n]
+		e.f64sRaw(m.Cols.Val)
+	case QFactored:
+		e.i(len(m.Levels))
+		for _, lv := range m.Levels {
+			e.i(len(lv.Blocks))
+			for _, b := range lv.Blocks {
+				e.i(b.Rows)
+				e.i(b.Cols)
+				e.f64sRaw(b.Data)
+				e.intsRaw(b.In)
+				e.intsRaw(b.Out)
+			}
+			e.i(len(lv.PassThrough))
+			e.intsRaw(lv.PassThrough)
+		}
+	}
+	e.matrix(m.Gw)
+	if m.Gwt != nil {
+		e.u8(1)
+		e.matrix(m.Gwt)
+	} else {
+		e.u8(0)
+	}
+	e.intsRaw(m.Order) // length implied by N
+
+	e.f64(m.Layout.A)
+	e.f64(m.Layout.B)
+	e.str(m.Layout.Name)
+	for _, c := range m.Layout.Contacts {
+		e.f64(c.X0)
+		e.f64(c.Y0)
+		e.f64(c.X1)
+		e.f64(c.Y1)
+		e.i(c.Group)
+	}
+
+	keys := make([]string, 0, len(m.Meta))
+	for k := range m.Meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	e.i(len(keys))
+	for _, k := range keys {
+		e.str(k)
+		e.str(m.Meta[k])
+	}
+
+	e.u32(crc32.ChecksumIEEE(e.buf))
+	return e.buf, nil
+}
+
+// Write encodes the model to w.
+func Write(w io.Writer, m *Model) error {
+	data, err := Encode(m)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// Decode parses and strictly validates an artifact: magic, version,
+// checksum, every length, every index, and the cross-dimension invariants of
+// Model.Validate. Any failure rejects the whole artifact.
+func Decode(data []byte) (*Model, error) {
+	if len(data) < len(Magic)+4+4 {
+		return nil, fmt.Errorf("model: artifact truncated (%d bytes)", len(data))
+	}
+	if string(data[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("model: bad magic bytes (not a subcouple model artifact)")
+	}
+	if got, want := crc32.ChecksumIEEE(data[:len(data)-4]), binary.LittleEndian.Uint32(data[len(data)-4:]); got != want {
+		return nil, fmt.Errorf("model: checksum mismatch (artifact corrupt): %08x vs stored %08x", got, want)
+	}
+	if v := binary.LittleEndian.Uint32(data[len(Magic):]); v != Version {
+		return nil, fmt.Errorf("model: unsupported format version %d (this build reads %d)", v, Version)
+	}
+	d := &dec{b: data[len(Magic)+4 : len(data)-4]}
+
+	m := &Model{}
+	m.Method = d.str()
+	m.N = d.count(1, maxContacts)
+	m.Solves = d.i()
+	m.Kind = QKind(d.u8())
+	n := m.N
+	if d.err != nil {
+		return nil, d.err
+	}
+	switch m.Kind {
+	case QColumns:
+		c := &Columns{}
+		c.ColPtr = d.ints(n + 1)
+		nnz := 0
+		if d.err == nil {
+			nnz = c.ColPtr[n]
+			if nnz < 0 || nnz > d.remaining()/16 {
+				d.fail("columns nnz %d impossible for %d remaining bytes", nnz, d.remaining())
+			}
+		}
+		c.RowIdx = d.ints(nnz)
+		c.Val = d.f64s(nnz)
+		m.Cols = c
+	case QFactored:
+		nl := d.count(0, d.remaining())
+		for li := 0; li < nl && d.err == nil; li++ {
+			var lv Level
+			nb := d.count(0, d.remaining())
+			for bi := 0; bi < nb && d.err == nil; bi++ {
+				var b Block
+				b.Rows = d.count(0, maxContacts)
+				b.Cols = d.count(0, maxContacts)
+				if d.err == nil && b.Rows*b.Cols > d.remaining()/8 {
+					d.fail("block %dx%d impossible for %d remaining bytes", b.Rows, b.Cols, d.remaining())
+				}
+				b.Data = d.f64s(b.Rows * b.Cols)
+				b.In = d.ints(b.Cols)
+				b.Out = d.ints(b.Rows)
+				lv.Blocks = append(lv.Blocks, b)
+			}
+			np := d.count(0, d.remaining()/8)
+			lv.PassThrough = d.ints(np)
+			m.Levels = append(m.Levels, lv)
+		}
+	default:
+		return nil, fmt.Errorf("model: unknown Q kind %d", m.Kind)
+	}
+	m.Gw = d.matrix(n)
+	if d.u8() != 0 {
+		m.Gwt = d.matrix(n)
+	}
+	m.Order = d.ints(n)
+
+	if d.err == nil {
+		l := &geom.Layout{A: d.f64(), B: d.f64(), Name: d.str()}
+		if d.err == nil && n > d.remaining()/40 {
+			d.fail("layout with %d contacts impossible for %d remaining bytes", n, d.remaining())
+		}
+		for i := 0; i < n && d.err == nil; i++ {
+			c := geom.Contact{}
+			c.X0, c.Y0, c.X1, c.Y1 = d.f64(), d.f64(), d.f64(), d.f64()
+			c.Group = d.i()
+			l.Contacts = append(l.Contacts, c)
+		}
+		m.Layout = l
+	}
+
+	nm := d.count(0, d.remaining())
+	for i := 0; i < nm && d.err == nil; i++ {
+		k := d.str()
+		v := d.str()
+		if m.Meta == nil {
+			m.Meta = map[string]string{}
+		}
+		m.Meta[k] = v
+	}
+
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.remaining() != 0 {
+		return nil, fmt.Errorf("model: %d trailing bytes after payload", d.remaining())
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Read decodes an artifact from r.
+func Read(r io.Reader) (*Model, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("model: reading artifact: %w", err)
+	}
+	return Decode(data)
+}
+
+// enc accumulates the little-endian payload.
+type enc struct {
+	buf []byte
+}
+
+func (e *enc) raw(b []byte) { e.buf = append(e.buf, b...) }
+func (e *enc) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *enc) u32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *enc) u64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *enc) i(v int)      { e.u64(uint64(v)) }
+func (e *enc) f64(v float64) {
+	e.u64(math.Float64bits(v))
+}
+func (e *enc) str(s string) {
+	e.u64(uint64(len(s)))
+	e.raw([]byte(s))
+}
+func (e *enc) intsRaw(vs []int) {
+	for _, v := range vs {
+		e.i(v)
+	}
+}
+func (e *enc) f64sRaw(vs []float64) {
+	for _, v := range vs {
+		e.f64(v)
+	}
+}
+func (e *enc) matrix(m *sparse.Matrix) {
+	e.i(m.NNZ())
+	e.intsRaw(m.RowPtr)
+	e.intsRaw(m.ColIdx)
+	e.f64sRaw(m.Val)
+}
+
+// dec is a sticky-error little-endian reader with allocation bounds: every
+// count is checked against the remaining byte budget before any slice is
+// allocated, so corrupt or adversarial inputs cannot demand more memory than
+// a few times their own size.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("model: "+format, args...)
+	}
+}
+
+func (d *dec) remaining() int { return len(d.b) - d.off }
+
+func (d *dec) u8() uint8 {
+	if d.err != nil {
+		return 0
+	}
+	if d.remaining() < 1 {
+		d.fail("payload truncated")
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.remaining() < 8 {
+		d.fail("payload truncated")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *dec) i() int {
+	v := d.u64()
+	if v > math.MaxInt64/2 {
+		d.fail("integer field %d out of range", v)
+		return 0
+	}
+	return int(v)
+}
+
+// count reads an integer and requires min <= v <= max.
+func (d *dec) count(min, max int) int {
+	v := d.i()
+	if d.err == nil && (v < min || v > max) {
+		d.fail("count %d outside [%d, %d]", v, min, max)
+		return 0
+	}
+	return v
+}
+
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *dec) str() string {
+	n := d.i()
+	if d.err != nil {
+		return ""
+	}
+	if n > d.remaining() {
+		d.fail("string length %d exceeds %d remaining bytes", n, d.remaining())
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *dec) ints(n int) []int {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > d.remaining()/8 {
+		d.fail("array length %d exceeds %d remaining bytes", n, d.remaining())
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = d.i()
+	}
+	return out
+}
+
+func (d *dec) f64s(n int) []float64 {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > d.remaining()/8 {
+		d.fail("array length %d exceeds %d remaining bytes", n, d.remaining())
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.f64()
+	}
+	return out
+}
+
+func (d *dec) matrix(n int) *sparse.Matrix {
+	nnz := d.count(0, d.remaining()/16)
+	m := &sparse.Matrix{Rows: n, Cols: n}
+	m.RowPtr = d.ints(n + 1)
+	m.ColIdx = d.ints(nnz)
+	m.Val = d.f64s(nnz)
+	return m
+}

@@ -1,0 +1,263 @@
+package model
+
+import (
+	"subcouple/internal/obs"
+	"subcouple/internal/par"
+	"subcouple/internal/sparse"
+)
+
+// Engine applies a Model with reusable scratch buffers: after construction
+// the hot paths (ApplyInto, ColumnInto, steady-state ApplyBatchInto) perform
+// no allocations. An Engine is not safe for concurrent use — ApplyBatch
+// parallelizes internally over per-worker scratch, and independent
+// goroutines should each hold their own Engine.
+//
+// Every apply is bitwise-deterministic: the per-column arithmetic never
+// depends on buffer history (outputs are fully overwritten) or on the worker
+// count (each batch column is computed independently into its own slot), so
+// Engine output on a decoded artifact is bitwise identical to the in-memory
+// extraction result's.
+type Engine struct {
+	m    *Model
+	rec  *obs.Recorder
+	tr   *obs.Tracer
+	sc   *scratch
+	pool []*scratch // per-worker scratch for ApplyBatch, grown on demand
+
+	// batch carries the per-call state of ApplyBatchInto and batchFn is the
+	// worker body capturing it, built once so the batch hot path does not
+	// allocate a fresh closure per call.
+	batch   batchState
+	batchFn func(worker, i int)
+}
+
+// batchState is the in-flight ApplyBatchInto call.
+type batchState struct {
+	dst, xs [][]float64
+	sp      *obs.Span
+}
+
+// scratch holds the working vectors of one apply stream.
+type scratch struct {
+	u, w []float64 // coefficient-space vectors (Qᵀx and Gw·Qᵀx)
+	a, b []float64 // factored-chain ping-pong buffers (QFactored only)
+	unit []float64 // kept all-zero between ColumnInto calls
+}
+
+func newScratch(m *Model) *scratch {
+	sc := &scratch{
+		u:    make([]float64, m.N),
+		w:    make([]float64, m.N),
+		unit: make([]float64, m.N),
+	}
+	if m.Kind == QFactored {
+		sc.a = make([]float64, m.N)
+		sc.b = make([]float64, m.N)
+	}
+	return sc
+}
+
+// NewEngine builds an apply engine over m. The model must be valid (Decode
+// guarantees it; extraction-built models are valid by construction).
+func NewEngine(m *Model) *Engine {
+	e := &Engine{m: m, sc: newScratch(m)}
+	e.batchFn = func(worker, i int) {
+		csp := e.batch.sp.ChildOn(worker+1, "model/apply_col").Arg("col", i)
+		e.applyInto(e.pool[worker], e.batch.dst[i], e.m.Gw, e.batch.xs[i])
+		csp.End()
+	}
+	return e
+}
+
+// Model returns the engine's model.
+func (e *Engine) Model() *Model { return e.m }
+
+// N returns the operator dimension.
+func (e *Engine) N() int { return e.m.N }
+
+// SetObs attaches an optional recorder (apply-phase timers and counters) and
+// tracer (per-batch spans). Nil values record nothing; observability never
+// changes apply outputs.
+func (e *Engine) SetObs(rec *obs.Recorder, tr *obs.Tracer) {
+	e.rec = rec
+	e.tr = tr
+}
+
+// ApplyInto computes dst = Q·Gw·Qᵀ·x in place with no allocations. dst must
+// have length N and may not alias x.
+func (e *Engine) ApplyInto(dst, x []float64) {
+	defer e.rec.Phase("model/apply")()
+	e.rec.Add("model/applies", 1)
+	e.applyInto(e.sc, dst, e.m.Gw, x)
+}
+
+// ApplyThresholdedInto is ApplyInto with the thresholded Gwt (panics when
+// the model carries none).
+func (e *Engine) ApplyThresholdedInto(dst, x []float64) {
+	if e.m.Gwt == nil {
+		panic("model: no thresholded representation")
+	}
+	defer e.rec.Phase("model/apply")()
+	e.rec.Add("model/applies", 1)
+	e.applyInto(e.sc, dst, e.m.Gwt, x)
+}
+
+// ColumnInto computes column j of Q·Gw·Qᵀ into dst with no allocations.
+func (e *Engine) ColumnInto(dst []float64, j int) {
+	e.sc.unit[j] = 1
+	e.applyInto(e.sc, dst, e.m.Gw, e.sc.unit)
+	e.sc.unit[j] = 0
+}
+
+// ColumnThresholdedInto is ColumnInto with the thresholded Gwt.
+func (e *Engine) ColumnThresholdedInto(dst []float64, j int) {
+	if e.m.Gwt == nil {
+		panic("model: no thresholded representation")
+	}
+	e.sc.unit[j] = 1
+	e.applyInto(e.sc, dst, e.m.Gwt, e.sc.unit)
+	e.sc.unit[j] = 0
+}
+
+// QColumnInto materializes native column j of Q itself (not the full
+// operator) into dst.
+func (e *Engine) QColumnInto(dst []float64, j int) {
+	switch e.m.Kind {
+	case QColumns:
+		for i := range dst {
+			dst[i] = 0
+		}
+		c := e.m.Cols
+		for k := c.ColPtr[j]; k < c.ColPtr[j+1]; k++ {
+			dst[c.RowIdx[k]] = c.Val[k]
+		}
+	case QFactored:
+		e.sc.unit[j] = 1
+		e.forwardInto(e.sc, dst, e.sc.unit)
+		e.sc.unit[j] = 0
+	}
+}
+
+// ApplyBatch computes Q·Gw·Qᵀ·x for every x in xs, parallelized over columns
+// on the internal/par pool. Like extraction, the result is bitwise identical
+// for any worker count (workers <= 0 selects all CPUs, 1 runs serial).
+func (e *Engine) ApplyBatch(xs [][]float64, workers int) [][]float64 {
+	out := make([][]float64, len(xs))
+	for i := range out {
+		out[i] = make([]float64, e.m.N)
+	}
+	e.ApplyBatchInto(out, xs, workers)
+	return out
+}
+
+// ApplyBatchInto is ApplyBatch into caller-provided output slices; with
+// reused dst it performs no steady-state allocations. dst[i] may not alias
+// xs[j] for any i, j.
+func (e *Engine) ApplyBatchInto(dst, xs [][]float64, workers int) {
+	if len(dst) != len(xs) {
+		panic("model: ApplyBatchInto length mismatch")
+	}
+	w := par.Workers(workers)
+	for len(e.pool) < w {
+		e.pool = append(e.pool, newScratch(e.m))
+	}
+	defer e.rec.Phase("model/apply_batch")()
+	e.rec.Add("model/batch_cols", int64(len(xs)))
+	sp := e.tr.Begin("model/apply_batch").Arg("cols", len(xs)).Arg("workers", w)
+	defer sp.End()
+	e.batch = batchState{dst: dst, xs: xs, sp: sp}
+	par.DoWorker(workers, len(xs), e.batchFn)
+	e.batch = batchState{}
+}
+
+// applyInto runs the three-stage operator u = Qᵀx, w = Gw·u, dst = Q·w on
+// the given scratch. The loop order in each stage replicates the in-memory
+// extraction representations exactly (lowrank.Transformed.Apply's column
+// loops; wavelet.FactoredQ's level chain), which is what makes decoded
+// artifacts bitwise-identical to the live result.
+func (e *Engine) applyInto(sc *scratch, dst []float64, gw *sparse.Matrix, x []float64) {
+	if len(x) != e.m.N || len(dst) != e.m.N {
+		panic("model: apply dimension mismatch")
+	}
+	switch e.m.Kind {
+	case QColumns:
+		c := e.m.Cols
+		for j := 0; j < e.m.N; j++ {
+			var s float64
+			for k := c.ColPtr[j]; k < c.ColPtr[j+1]; k++ {
+				s += c.Val[k] * x[c.RowIdx[k]]
+			}
+			sc.u[j] = s
+		}
+		gw.MulVecInto(sc.w, sc.u)
+		for i := range dst {
+			dst[i] = 0
+		}
+		for j, wc := range sc.w {
+			if wc != 0 {
+				for k := c.ColPtr[j]; k < c.ColPtr[j+1]; k++ {
+					dst[c.RowIdx[k]] += wc * c.Val[k]
+				}
+			}
+		}
+	case QFactored:
+		e.backwardInto(sc, sc.u, x)
+		gw.MulVecInto(sc.w, sc.u)
+		e.forwardInto(sc, dst, sc.w)
+	}
+}
+
+// forwardInto computes dst = Q·x through the level chain (Q⁽⁰⁾ first).
+func (e *Engine) forwardInto(sc *scratch, dst, x []float64) {
+	cur, nxt := sc.a, sc.b
+	copy(cur, x)
+	for li := range e.m.Levels {
+		lv := &e.m.Levels[li]
+		for i := range nxt {
+			nxt[i] = 0
+		}
+		for _, i := range lv.PassThrough {
+			nxt[i] = cur[i]
+		}
+		for bi := range lv.Blocks {
+			blk := &lv.Blocks[bi]
+			for r, oi := range blk.Out {
+				var s float64
+				row := blk.Data[r*blk.Cols : (r+1)*blk.Cols]
+				for c, ii := range blk.In {
+					s += row[c] * cur[ii]
+				}
+				nxt[oi] = s
+			}
+		}
+		cur, nxt = nxt, cur
+	}
+	copy(dst, cur)
+}
+
+// backwardInto computes dst = Qᵀ·x through the level chain (Q⁽ᴸ⁾ᵀ first).
+func (e *Engine) backwardInto(sc *scratch, dst, x []float64) {
+	cur, nxt := sc.a, sc.b
+	copy(cur, x)
+	for li := len(e.m.Levels) - 1; li >= 0; li-- {
+		lv := &e.m.Levels[li]
+		for i := range nxt {
+			nxt[i] = 0
+		}
+		for _, i := range lv.PassThrough {
+			nxt[i] = cur[i]
+		}
+		for bi := range lv.Blocks {
+			blk := &lv.Blocks[bi]
+			for c, ii := range blk.In {
+				var s float64
+				for r, oi := range blk.Out {
+					s += blk.Data[r*blk.Cols+c] * cur[oi]
+				}
+				nxt[ii] = s
+			}
+		}
+		cur, nxt = nxt, cur
+	}
+	copy(dst, cur)
+}

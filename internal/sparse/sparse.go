@@ -73,10 +73,21 @@ func (m *Matrix) Sparsity() float64 {
 
 // MulVec returns m·x.
 func (m *Matrix) MulVec(x []float64) []float64 {
+	y := make([]float64, m.Rows)
+	m.MulVecInto(y, x)
+	return y
+}
+
+// MulVecInto computes y = m·x in place; y must have length m.Rows and may
+// not alias x. Row sums accumulate in CSR order, so the result is bitwise
+// identical to MulVec.
+func (m *Matrix) MulVecInto(y, x []float64) {
 	if len(x) != m.Cols {
 		panic("sparse: MulVec dimension mismatch")
 	}
-	y := make([]float64, m.Rows)
+	if len(y) != m.Rows {
+		panic("sparse: MulVecInto output length mismatch")
+	}
 	for r := 0; r < m.Rows; r++ {
 		var s float64
 		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
@@ -84,15 +95,28 @@ func (m *Matrix) MulVec(x []float64) []float64 {
 		}
 		y[r] = s
 	}
-	return y
 }
 
 // MulVecT returns mᵀ·x.
 func (m *Matrix) MulVecT(x []float64) []float64 {
+	y := make([]float64, m.Cols)
+	m.MulVecTInto(y, x)
+	return y
+}
+
+// MulVecTInto computes y = mᵀ·x in place; y must have length m.Cols and may
+// not alias x. The accumulation order matches MulVecT exactly, so the result
+// is bitwise identical.
+func (m *Matrix) MulVecTInto(y, x []float64) {
 	if len(x) != m.Rows {
 		panic("sparse: MulVecT dimension mismatch")
 	}
-	y := make([]float64, m.Cols)
+	if len(y) != m.Cols {
+		panic("sparse: MulVecTInto output length mismatch")
+	}
+	for i := range y {
+		y[i] = 0
+	}
 	for r := 0; r < m.Rows; r++ {
 		xr := x[r]
 		if xr == 0 {
@@ -102,7 +126,6 @@ func (m *Matrix) MulVecT(x []float64) []float64 {
 			y[m.ColIdx[k]] += m.Val[k] * xr
 		}
 	}
-	return y
 }
 
 // Threshold returns a copy with entries |v| < t dropped.
@@ -206,12 +229,15 @@ func (m *Matrix) ThresholdForSparsity(target float64) *Matrix {
 	return out
 }
 
-// At returns entry (r,c) (zero when not stored; linear scan of the row).
+// At returns entry (r,c), or zero when not stored. Every constructor
+// (FromTriplets, Threshold, ThresholdForSparsity, Symmetrize) emits column
+// indices sorted within each row, so the lookup is a binary search.
 func (m *Matrix) At(r, c int) float64 {
-	for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
-		if m.ColIdx[k] == c {
-			return m.Val[k]
-		}
+	lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+	row := m.ColIdx[lo:hi]
+	k := sort.SearchInts(row, c)
+	if k < len(row) && row[k] == c {
+		return m.Val[lo+k]
 	}
 	return 0
 }

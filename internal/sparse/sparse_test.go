@@ -178,6 +178,98 @@ func TestSparsityAndMaxAbs(t *testing.T) {
 	}
 }
 
+// sortedRows checks the CSR invariant At's binary search relies on: column
+// indices strictly increasing within every row.
+func sortedRows(t *testing.T, what string, m *Matrix) {
+	t.Helper()
+	for r := 0; r < m.Rows; r++ {
+		for k := m.RowPtr[r] + 1; k < m.RowPtr[r+1]; k++ {
+			if m.ColIdx[k-1] >= m.ColIdx[k] {
+				t.Fatalf("%s: row %d columns out of order: %d then %d",
+					what, r, m.ColIdx[k-1], m.ColIdx[k])
+			}
+		}
+	}
+}
+
+// TestConstructorsPreserveSortedColumns makes the sorted-row invariant
+// explicit: every way a Matrix is built or rebuilt must emit sorted column
+// indices, because At binary-searches the row.
+func TestConstructorsPreserveSortedColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	n := 24
+	var ts []Triplet
+	for k := 0; k < 300; k++ {
+		// Quantized values force heavy ties in ThresholdForSparsity.
+		v := float64(1+rng.Intn(4)) * 0.5
+		if rng.Intn(2) == 0 {
+			v = -v
+		}
+		i, j := rng.Intn(n), rng.Intn(n)
+		ts = append(ts, Triplet{i, j, v}, Triplet{j, i, v})
+	}
+	m := FromTriplets(n, n, ts)
+	sortedRows(t, "FromTriplets", m)
+	sortedRows(t, "Threshold", m.Threshold(1.0))
+	sortedRows(t, "ThresholdForSparsity", m.ThresholdForSparsity(4))
+	sortedRows(t, "Symmetrize", m.Symmetrize())
+
+	// At agrees with a linear scan everywhere (stored and unstored entries).
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var want float64
+			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+				if m.ColIdx[k] == j {
+					want = m.Val[k]
+				}
+			}
+			if got := m.At(i, j); got != want {
+				t.Fatalf("At(%d,%d) = %g, linear scan finds %g", i, j, got, want)
+			}
+		}
+	}
+}
+
+// TestMulVecIntoMatchesMulVec pins the in-place kernels bitwise against the
+// allocating ones, including dirty output buffers.
+func TestMulVecIntoMatchesMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	rows, cols := 9, 6
+	var ts []Triplet
+	for k := 0; k < 25; k++ {
+		ts = append(ts, Triplet{rng.Intn(rows), rng.Intn(cols), rng.NormFloat64()})
+	}
+	m := FromTriplets(rows, cols, ts)
+	x := make([]float64, cols)
+	z := make([]float64, rows)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for i := range z {
+		z[i] = rng.NormFloat64()
+	}
+	y := make([]float64, rows)
+	for i := range y {
+		y[i] = 1e300 // dirty
+	}
+	m.MulVecInto(y, x)
+	for i, v := range m.MulVec(x) {
+		if y[i] != v {
+			t.Fatalf("MulVecInto[%d] = %v, MulVec = %v", i, y[i], v)
+		}
+	}
+	w := make([]float64, cols)
+	for i := range w {
+		w[i] = 1e300
+	}
+	m.MulVecTInto(w, z)
+	for i, v := range m.MulVecT(z) {
+		if w[i] != v {
+			t.Fatalf("MulVecTInto[%d] = %v, MulVecT = %v", i, w[i], v)
+		}
+	}
+}
+
 func TestRoundTripProperty(t *testing.T) {
 	// (Aᵀ)ᵀ behaviour: MulVecT of m equals MulVec of the transpose built by
 	// swapping triplets.

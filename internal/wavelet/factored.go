@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"subcouple/internal/la"
+	"subcouple/internal/model"
 )
 
 // FactoredQ is the O(n)-storage representation of the wavelet basis from
@@ -223,3 +224,25 @@ func (b *Basis) Factored() (*FactoredQ, error) {
 }
 
 func levelKey(level, id int) int { return level<<24 | id }
+
+// ExportLevels converts the factored chain into the serializable form of
+// internal/model: each block's dense matrix is flattened row-major and the
+// in/out coordinate lists are copied, so a model.Engine replays exactly the
+// arithmetic of Apply/ApplyT.
+func (f *FactoredQ) ExportLevels() []model.Level {
+	out := make([]model.Level, len(f.levels))
+	for li, lv := range f.levels {
+		ml := model.Level{PassThrough: append([]int(nil), lv.passThrough...)}
+		for _, blk := range lv.blocks {
+			ml.Blocks = append(ml.Blocks, model.Block{
+				Rows: blk.m.Rows,
+				Cols: blk.m.Cols,
+				Data: append([]float64(nil), blk.m.Data...),
+				In:   append([]int(nil), blk.inIdx...),
+				Out:  append([]int(nil), blk.outIdx...),
+			})
+		}
+		out[li] = ml
+	}
+	return out
+}
