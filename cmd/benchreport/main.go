@@ -25,14 +25,20 @@
 package main
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"math"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"subcouple/internal/core"
@@ -40,6 +46,7 @@ import (
 	"subcouple/internal/geom"
 	"subcouple/internal/metrics"
 	"subcouple/internal/obs"
+	"subcouple/internal/serve"
 	"subcouple/internal/solver"
 )
 
@@ -261,6 +268,15 @@ func run(out string, short bool, reps int) error {
 		rows = append(rows, row)
 	}
 
+	// End-to-end daemon throughput: the same applies through subserve's HTTP
+	// stack (codec, engine pool, micro-batcher).
+	serveRow, err := timeServe(res, reps)
+	if err != nil {
+		return err
+	}
+	log.Printf("%-16s %8.3gs/op (best of %d), %d solves", serveRow.Name, serveRow.SecondsPerOp, reps, serveRow.Solves)
+	rows = append(rows, serveRow)
+
 	doc := benchFile{
 		Schema:     benchSchema,
 		GoVersion:  runtime.Version(),
@@ -341,6 +357,80 @@ func timeApply(res *core.Result, reps int) []benchRow {
 		{Name: "ApplySingle", Method: res.Method.String(), Workers: 1, Reps: reps, SecondsPerOp: single, MeanSeconds: single},
 		{Name: "ApplyBatch16", Method: res.Method.String(), Workers: 0, Reps: reps, SecondsPerOp: batch, MeanSeconds: batch},
 	}
+}
+
+// timeServe benchmarks the HTTP serving path end to end: a serve.Server
+// (engine pool + micro-batcher, the same stack cmd/subserve runs) behind an
+// httptest listener, driven by 8 concurrent clients posting raw float64-LE
+// /apply bodies. One op is one served apply, so the row prices the full
+// request path — HTTP, codec, pool checkout, batch coalescing — not just
+// the engine kernel timed by ApplySingle/ApplyBatch16. Zero substrate
+// solves, gated like the other apply rows.
+func timeServe(res *core.Result, reps int) (benchRow, error) {
+	srv := serve.New(serve.Options{Window: 200 * time.Microsecond})
+	if err := srv.AddModel("bench", res.Model()); err != nil {
+		return benchRow{}, err
+	}
+	srv.SetReady(true)
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	n := res.N()
+	body := make([]byte, 8*n)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(body[8*i:], math.Float64bits(float64(i%13)-6))
+	}
+	const clients = 8
+	const itersPerClient = 25
+	oneRound := func() error {
+		var wg sync.WaitGroup
+		errCh := make(chan error, clients)
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < itersPerClient; i++ {
+					resp, err := http.Post(ts.URL+"/apply", "application/octet-stream", bytes.NewReader(body))
+					if err != nil {
+						errCh <- err
+						return
+					}
+					out, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						errCh <- fmt.Errorf("serve apply: status %d: %s", resp.StatusCode, out)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		select {
+		case err := <-errCh:
+			return err
+		default:
+			return nil
+		}
+	}
+	if err := oneRound(); err != nil { // warm connections, pool, and scratch
+		return benchRow{}, err
+	}
+	row := benchRow{Name: "ServeApply", Method: res.Method.String(), Workers: clients, Reps: reps}
+	var total float64
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		if err := oneRound(); err != nil {
+			return benchRow{}, err
+		}
+		perOp := time.Since(start).Seconds() / (clients * itersPerClient)
+		total += perOp
+		if r == 0 || perOp < row.SecondsPerOp {
+			row.SecondsPerOp = perOp
+		}
+	}
+	row.MeanSeconds = total / float64(reps)
+	return row, nil
 }
 
 // timeExtract runs the extraction reps times and keeps the best and mean

@@ -14,14 +14,13 @@
 package main
 
 import (
-	"encoding/binary"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"log"
-	"math"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the -pprof server
 	"os"
@@ -88,9 +87,19 @@ func run(args []string, out io.Writer) error {
 	}
 	if *pprofAddr != "" {
 		publishExpvars(rec)
+		// Bind synchronously so a bad or busy address fails the run up front
+		// with a real error; ListenAndServe inside the goroutine only logged
+		// the failure after the run had started, and the log line could race
+		// process exit. Only the accept loop runs in the background, on the
+		// already-bound listener.
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof: %w", err)
+		}
+		defer ln.Close()
+		log.Printf("pprof/expvar listening on http://%s/debug/pprof", ln.Addr())
 		go func() {
-			log.Printf("pprof/expvar listening on http://%s/debug/pprof", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+			if err := http.Serve(ln, nil); err != nil && !errors.Is(err, net.ErrClosed) {
 				log.Printf("pprof server: %v", err)
 			}
 		}()
@@ -369,38 +378,12 @@ var (
 	expvarRec  atomic.Pointer[obs.Recorder]
 )
 
-// applyFingerprint hashes the exact bit patterns of deterministic probe
-// applies — one single-RHS Apply (plus ApplyThresholded when present) and
-// one 3-column ApplyBatch — with FNV-1a. The probes depend only on the
-// contact count, so a `subx -save` run and a later `subx -load` run print
-// the same fingerprint exactly when the artifact round trip and the batched
-// engine are bitwise faithful.
+// applyFingerprint is model.Engine.Fingerprint on the result's engine: a
+// `subx -save` run, a later `subx -load` run, and a subserve daemon over the
+// same artifact all print the same value exactly when the artifact round
+// trip and the batched engine are bitwise faithful.
 func applyFingerprint(res *core.Result, workers int) uint64 {
-	n := res.N()
-	probe := func(shift int) []float64 {
-		x := make([]float64, n)
-		for i := range x {
-			// Pure integer arithmetic: reproducible across platforms.
-			x[i] = float64((i*2654435761+shift*40503)%1024)/512 - 1
-		}
-		return x
-	}
-	h := fnv.New64a()
-	var b [8]byte
-	mix := func(vs []float64) {
-		for _, v := range vs {
-			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
-			h.Write(b[:])
-		}
-	}
-	mix(res.Apply(probe(0)))
-	if res.Gwt != nil {
-		mix(res.ApplyThresholded(probe(0)))
-	}
-	for _, y := range res.Engine().ApplyBatch([][]float64{probe(1), probe(2), probe(3)}, workers) {
-		mix(y)
-	}
-	return h.Sum64()
+	return res.Engine().Fingerprint(workers)
 }
 
 func publishExpvars(rec *obs.Recorder) {

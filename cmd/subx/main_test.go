@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"expvar"
 	"flag"
+	"net"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -277,6 +278,40 @@ func TestExpvarSnapshotIsLive(t *testing.T) {
 	publishExpvars(rec2)
 	if got := read().Counters["solver/solves"]; got != 7 {
 		t.Fatalf("scrape after recorder swap shows %d solves, want 7", got)
+	}
+}
+
+// TestPprofBindFailsFast is the regression test for the -pprof bind bug:
+// the address used to be bound inside the serving goroutine, so a bad or
+// busy address was only logged after the run had started (and the log line
+// could race process exit) while run() still returned nil. Binding must now
+// happen synchronously and fail the run with a real error.
+func TestPprofBindFailsFast(t *testing.T) {
+	// Occupy a port so the run's own bind must fail with EADDRINUSE.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	var out bytes.Buffer
+	args := []string{"-layout", "regular", "-n", "4", "-surface", "16"}
+	err = run(append(args, "-pprof", ln.Addr().String()), &out)
+	if err == nil {
+		t.Fatal("busy -pprof address: run returned nil (bind failure only logged asynchronously)")
+	}
+	if !strings.Contains(err.Error(), "pprof") {
+		t.Fatalf("bind error does not name pprof: %v", err)
+	}
+
+	// A malformed address (port out of range — no DNS involved) fails too.
+	if err := run(append(args, "-pprof", "127.0.0.1:99999"), &out); err == nil {
+		t.Fatal("malformed -pprof address accepted")
+	}
+
+	// And a bindable address still works end to end.
+	if err := run(append(args, "-pprof", "127.0.0.1:0"), &out); err != nil {
+		t.Fatalf("free -pprof address: %v", err)
 	}
 }
 

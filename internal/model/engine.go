@@ -1,6 +1,9 @@
 package model
 
 import (
+	"fmt"
+	"sync/atomic"
+
 	"subcouple/internal/obs"
 	"subcouple/internal/par"
 	"subcouple/internal/sparse"
@@ -10,7 +13,10 @@ import (
 // the hot paths (ApplyInto, ColumnInto, steady-state ApplyBatchInto) perform
 // no allocations. An Engine is not safe for concurrent use — ApplyBatch
 // parallelizes internally over per-worker scratch, and independent
-// goroutines should each hold their own Engine.
+// goroutines should each hold their own Engine (or check engines out of an
+// internal/serve pool). The restriction is enforced: every public apply
+// holds a cheap atomic in-use guard, so two goroutines sharing one Engine
+// panic deterministically instead of silently corrupting scratch.
 //
 // Every apply is bitwise-deterministic: the per-column arithmetic never
 // depends on buffer history (outputs are fully overwritten) or on the worker
@@ -29,6 +35,10 @@ type Engine struct {
 	// allocate a fresh closure per call.
 	batch   batchState
 	batchFn func(worker, i int)
+
+	// busy is the concurrent-misuse guard: 0 when idle, 1 while a public
+	// apply owns the scratch buffers.
+	busy atomic.Int32
 }
 
 // batchState is the in-flight ApplyBatchInto call.
@@ -83,9 +93,56 @@ func (e *Engine) SetObs(rec *obs.Recorder, tr *obs.Tracer) {
 	e.tr = tr
 }
 
-// ApplyInto computes dst = Q·Gw·Qᵀ·x in place with no allocations. dst must
-// have length N and may not alias x.
+// acquire takes the in-use guard or panics: an Engine's scratch buffers hold
+// per-call state, so overlapping applies from two goroutines would corrupt
+// each other's results silently. Failing the CAS means another apply is in
+// flight right now, which is always a caller bug — panic while the engine's
+// own state is still untouched.
+func (e *Engine) acquire(method string) {
+	if !e.busy.CompareAndSwap(0, 1) {
+		panic("model: concurrent " + method + " on a shared Engine (an Engine is " +
+			"single-threaded; give each goroutine its own via NewEngine or check " +
+			"engines out of a pool)")
+	}
+}
+
+func (e *Engine) release() { e.busy.Store(0) }
+
+// checkVec validates one vector argument of a public apply, with the
+// argument's name and both lengths in the panic message.
+func (e *Engine) checkVec(method, name string, v []float64) {
+	if v == nil {
+		panic(fmt.Sprintf("model: %s: %s is nil (want length %d)", method, name, e.m.N))
+	}
+	if len(v) != e.m.N {
+		panic(fmt.Sprintf("model: %s: %s has length %d, want %d", method, name, len(v), e.m.N))
+	}
+}
+
+// checkCol is checkVec for one column of a batch.
+func (e *Engine) checkCol(method, name string, i int, v []float64) {
+	if v == nil {
+		panic(fmt.Sprintf("model: %s: %s[%d] is nil (want length %d)", method, name, i, e.m.N))
+	}
+	if len(v) != e.m.N {
+		panic(fmt.Sprintf("model: %s: %s[%d] has length %d, want %d", method, name, i, len(v), e.m.N))
+	}
+}
+
+// checkIndex validates a column index argument.
+func (e *Engine) checkIndex(method string, j int) {
+	if j < 0 || j >= e.m.N {
+		panic(fmt.Sprintf("model: %s: column %d out of range [0,%d)", method, j, e.m.N))
+	}
+}
+
+// ApplyInto computes dst = Q·Gw·Qᵀ·x in place with no allocations. dst and x
+// must both have length N, and dst may not alias x.
 func (e *Engine) ApplyInto(dst, x []float64) {
+	e.checkVec("ApplyInto", "dst", dst)
+	e.checkVec("ApplyInto", "x", x)
+	e.acquire("ApplyInto")
+	defer e.release()
 	defer e.rec.Phase("model/apply")()
 	e.rec.Add("model/applies", 1)
 	e.applyInto(e.sc, dst, e.m.Gw, x)
@@ -97,6 +154,10 @@ func (e *Engine) ApplyThresholdedInto(dst, x []float64) {
 	if e.m.Gwt == nil {
 		panic("model: no thresholded representation")
 	}
+	e.checkVec("ApplyThresholdedInto", "dst", dst)
+	e.checkVec("ApplyThresholdedInto", "x", x)
+	e.acquire("ApplyThresholdedInto")
+	defer e.release()
 	defer e.rec.Phase("model/apply")()
 	e.rec.Add("model/applies", 1)
 	e.applyInto(e.sc, dst, e.m.Gwt, x)
@@ -104,6 +165,10 @@ func (e *Engine) ApplyThresholdedInto(dst, x []float64) {
 
 // ColumnInto computes column j of Q·Gw·Qᵀ into dst with no allocations.
 func (e *Engine) ColumnInto(dst []float64, j int) {
+	e.checkVec("ColumnInto", "dst", dst)
+	e.checkIndex("ColumnInto", j)
+	e.acquire("ColumnInto")
+	defer e.release()
 	e.sc.unit[j] = 1
 	e.applyInto(e.sc, dst, e.m.Gw, e.sc.unit)
 	e.sc.unit[j] = 0
@@ -114,6 +179,10 @@ func (e *Engine) ColumnThresholdedInto(dst []float64, j int) {
 	if e.m.Gwt == nil {
 		panic("model: no thresholded representation")
 	}
+	e.checkVec("ColumnThresholdedInto", "dst", dst)
+	e.checkIndex("ColumnThresholdedInto", j)
+	e.acquire("ColumnThresholdedInto")
+	defer e.release()
 	e.sc.unit[j] = 1
 	e.applyInto(e.sc, dst, e.m.Gwt, e.sc.unit)
 	e.sc.unit[j] = 0
@@ -122,6 +191,10 @@ func (e *Engine) ColumnThresholdedInto(dst []float64, j int) {
 // QColumnInto materializes native column j of Q itself (not the full
 // operator) into dst.
 func (e *Engine) QColumnInto(dst []float64, j int) {
+	e.checkVec("QColumnInto", "dst", dst)
+	e.checkIndex("QColumnInto", j)
+	e.acquire("QColumnInto")
+	defer e.release()
 	switch e.m.Kind {
 	case QColumns:
 		for i := range dst {
@@ -151,12 +224,21 @@ func (e *Engine) ApplyBatch(xs [][]float64, workers int) [][]float64 {
 }
 
 // ApplyBatchInto is ApplyBatch into caller-provided output slices; with
-// reused dst it performs no steady-state allocations. dst[i] may not alias
-// xs[j] for any i, j.
+// reused dst it performs no steady-state allocations. Every dst[i] and xs[i]
+// must be non-nil with length N, and dst[i] may not alias xs[j] for any
+// i, j. Columns are validated up front, before any fan-out, so a mis-sized
+// batch panics on the calling goroutine with the offending column named —
+// never from inside a pool worker.
 func (e *Engine) ApplyBatchInto(dst, xs [][]float64, workers int) {
 	if len(dst) != len(xs) {
-		panic("model: ApplyBatchInto length mismatch")
+		panic(fmt.Sprintf("model: ApplyBatchInto: %d output columns for %d inputs", len(dst), len(xs)))
 	}
+	for i := range xs {
+		e.checkCol("ApplyBatchInto", "xs", i, xs[i])
+		e.checkCol("ApplyBatchInto", "dst", i, dst[i])
+	}
+	e.acquire("ApplyBatchInto")
+	defer e.release()
 	w := par.Workers(workers)
 	for len(e.pool) < w {
 		e.pool = append(e.pool, newScratch(e.m))

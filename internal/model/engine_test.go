@@ -1,0 +1,177 @@
+package model_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"subcouple/internal/core"
+	"subcouple/internal/model"
+)
+
+// expectPanic runs f and requires a panic whose message contains every
+// substring in want — on the calling goroutine, so misuse is recoverable
+// instead of killing the process from inside a pool worker.
+func expectPanic(t *testing.T, want []string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic (want message containing %q)", want)
+		}
+		msg := fmt.Sprint(r)
+		for _, w := range want {
+			if !strings.Contains(msg, w) {
+				t.Fatalf("panic %q does not mention %q", msg, w)
+			}
+		}
+	}()
+	f()
+}
+
+// TestApplyBatchIntoValidatesColumns is the regression test for the batch
+// validation bug: ApplyBatchInto used to check only len(dst) == len(xs), so
+// a short, long or nil column blew up later inside a worker goroutine (an
+// unrecoverable process crash under workers > 1) with no hint of which
+// column was wrong. Every mis-sized column must now panic up front, on the
+// caller, naming the column.
+func TestApplyBatchIntoValidatesColumns(t *testing.T) {
+	res := extract256(t, core.LowRank)
+	eng := model.NewEngine(res.Model())
+	n := res.N()
+	cols := func() [][]float64 {
+		vs := make([][]float64, 3)
+		for i := range vs {
+			vs[i] = probeVec(n, i)
+		}
+		return vs
+	}
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
+			good := cols()
+			dst := cols()
+			eng.ApplyBatchInto(dst, good, workers) // sane batch passes
+
+			cases := []struct {
+				name   string
+				mutate func(dst, xs [][]float64)
+				want   []string
+			}{
+				{"short input", func(_, xs [][]float64) { xs[1] = xs[1][:n-1] },
+					[]string{"ApplyBatchInto", "xs[1]", fmt.Sprint(n - 1), fmt.Sprint(n)}},
+				{"long input", func(_, xs [][]float64) { xs[2] = append(xs[2], 0) },
+					[]string{"ApplyBatchInto", "xs[2]", fmt.Sprint(n + 1)}},
+				{"nil input", func(_, xs [][]float64) { xs[0] = nil },
+					[]string{"ApplyBatchInto", "xs[0]", "nil"}},
+				{"short output", func(dst, _ [][]float64) { dst[0] = dst[0][:1] },
+					[]string{"ApplyBatchInto", "dst[0]", "1"}},
+				{"nil output", func(dst, _ [][]float64) { dst[2] = nil },
+					[]string{"ApplyBatchInto", "dst[2]", "nil"}},
+				{"count mismatch", func(dst, _ [][]float64) { dst[2] = dst[1] }, nil}, // see below
+			}
+			for _, tc := range cases[:len(cases)-1] {
+				t.Run(tc.name, func(t *testing.T) {
+					dst, xs := cols(), cols()
+					tc.mutate(dst, xs)
+					expectPanic(t, tc.want, func() { eng.ApplyBatchInto(dst, xs, workers) })
+				})
+			}
+			t.Run("count mismatch", func(t *testing.T) {
+				expectPanic(t, []string{"ApplyBatchInto", "2", "3"},
+					func() { eng.ApplyBatchInto(cols()[:2], cols(), workers) })
+			})
+		})
+	}
+}
+
+// TestApplyIntoValidatesVectors pins the clearer single-RHS messages: the
+// argument at fault and both lengths, instead of the old blanket
+// "apply dimension mismatch".
+func TestApplyIntoValidatesVectors(t *testing.T) {
+	res := extract256(t, core.LowRank)
+	eng := model.NewEngine(res.Model())
+	n := res.N()
+	x, out := probeVec(n, 1), make([]float64, n)
+
+	expectPanic(t, []string{"ApplyInto", "x", fmt.Sprint(n - 3)},
+		func() { eng.ApplyInto(out, x[:n-3]) })
+	expectPanic(t, []string{"ApplyInto", "dst", "nil"},
+		func() { eng.ApplyInto(nil, x) })
+	expectPanic(t, []string{"ApplyThresholdedInto", "x", fmt.Sprint(n - 1)},
+		func() { eng.ApplyThresholdedInto(out, x[:n-1]) })
+	expectPanic(t, []string{"ColumnInto", "column", fmt.Sprint(n)},
+		func() { eng.ColumnInto(out, n) })
+	expectPanic(t, []string{"ColumnInto", "dst", "4"},
+		func() { eng.ColumnInto(out[:4], 0) })
+	expectPanic(t, []string{"QColumnInto", "column"},
+		func() { eng.QColumnInto(out, -1) })
+
+	// A recovered validation panic must leave the engine usable.
+	eng.ApplyInto(out, x)
+}
+
+// TestEngineConcurrentUsePanics races two goroutines over ApplyInto on one
+// shared Engine: the in-use guard must trip with a clear panic instead of
+// letting the two applies silently corrupt each other's scratch. The loop
+// runs until the overlap is observed (async preemption makes this near-
+// immediate even on one CPU) with a generous deadline as the flake guard.
+func TestEngineConcurrentUsePanics(t *testing.T) {
+	res := extract256(t, core.LowRank)
+	eng := model.NewEngine(res.Model())
+	n := res.N()
+
+	var panics atomic.Int64
+	var stop atomic.Bool
+	start := make(chan struct{})
+	deadline := time.Now().Add(20 * time.Second)
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			x, out := probeVec(n, g+1), make([]float64, n)
+			<-start
+			for !stop.Load() && time.Now().Before(deadline) {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							if !strings.Contains(fmt.Sprint(r), "concurrent") {
+								t.Errorf("unexpected panic: %v", r)
+							}
+							panics.Add(1)
+							stop.Store(true)
+						}
+					}()
+					eng.ApplyInto(out, x)
+				}()
+			}
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+	if panics.Load() == 0 {
+		t.Fatal("two goroutines raced ApplyInto on one Engine without tripping the in-use guard")
+	}
+
+	// The survivor released the guard; the engine must serve again.
+	eng.ApplyInto(make([]float64, n), probeVec(n, 0))
+}
+
+// TestFingerprintStableAcrossEngines pins that Fingerprint depends only on
+// the operator: fresh engines over the same model, at different worker
+// counts, report the identical value (this is what lets CI compare a
+// subserve daemon against subx -load).
+func TestFingerprintStableAcrossEngines(t *testing.T) {
+	for _, method := range []core.Method{core.Wavelet, core.LowRank} {
+		res := extract256(t, method)
+		base := model.NewEngine(res.Model()).Fingerprint(1)
+		for _, workers := range []int{0, 2, 4} {
+			if got := model.NewEngine(res.Model()).Fingerprint(workers); got != base {
+				t.Fatalf("%v: fingerprint %016x at workers=%d, want %016x", method, got, workers, base)
+			}
+		}
+	}
+}

@@ -197,6 +197,55 @@ func TestValidateRunReport(t *testing.T) {
 	}
 }
 
+// servingReport is what cmd/subserve writes after a drain: serving counters
+// and latency/batch histograms, but zero substrate solves and none of the
+// extraction-solver sections.
+func servingReport() *RunReport {
+	r := NewRecorder()
+	r.Phase("model/apply")()
+	r.Add("serve/req_apply", 9)
+	r.Add("serve/batches", 4)
+	r.Observe("serve/batch_size", 3)
+	r.Observe("serve/latency_us_apply", 250)
+	return &RunReport{
+		Schema:   ReportSchema,
+		Tool:     "subserve",
+		Config:   map[string]any{"addr": ":8080"},
+		Results:  map[string]any{},
+		Obs:      r.Snapshot(),
+		Numerics: r.Numerics(),
+	}
+}
+
+// TestValidateServingReport pins the serving branch: a subserve report with
+// zero solves and no solver histograms is valid, an idle one (no phases)
+// too — but a serving report that somehow performed substrate solves is
+// rejected, since zero solves is the whole point of the daemon.
+func TestValidateServingReport(t *testing.T) {
+	rep := servingReport()
+	data, err := rep.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateRunReport(data, false); err != nil {
+		t.Fatalf("serving report rejected: %v", err)
+	}
+
+	idle := servingReport()
+	idle.Obs.Phases = nil
+	data, _ = idle.MarshalIndent()
+	if err := ValidateRunReport(data, false); err != nil {
+		t.Fatalf("idle serving report rejected: %v", err)
+	}
+
+	solved := servingReport()
+	solved.Obs.Counters["solver/solves"] = 3
+	data, _ = solved.MarshalIndent()
+	if err := ValidateRunReport(data, false); err == nil {
+		t.Fatal("serving report with substrate solves accepted")
+	}
+}
+
 func TestNumericsAccumulators(t *testing.T) {
 	r := NewRecorder()
 	r.Residual("res", 0.5)

@@ -121,7 +121,11 @@ func ValidateRunReport(data []byte, requireExtraction bool) error {
 	if r.Tool == "" {
 		return fmt.Errorf("run report: missing tool name")
 	}
-	if len(r.Obs.Phases) == 0 {
+	// Serving reports (cmd/subserve) perform zero substrate solves by
+	// design, so the extraction-solver sections are not required of them —
+	// and an idle daemon may legitimately have timed no phases.
+	serving := r.Tool == "subserve"
+	if len(r.Obs.Phases) == 0 && !serving {
 		return fmt.Errorf("run report: no phases recorded")
 	}
 	for _, p := range r.Obs.Phases {
@@ -134,21 +138,26 @@ func ValidateRunReport(data []byte, requireExtraction bool) error {
 			return fmt.Errorf("run report: negative counter %s = %d", name, v)
 		}
 	}
-	if r.Obs.Counters["solver/solves"] <= 0 {
-		return fmt.Errorf("run report: missing solver/solves counter")
-	}
-	if _, ok := r.Obs.Histograms["solver/batch_size"]; !ok {
-		return fmt.Errorf("run report: missing solver/batch_size histogram")
-	}
-	iters := false
-	for name := range r.Obs.Histograms {
-		if strings.HasSuffix(name, "_iters") {
-			iters = true
-			break
+	if !serving {
+		if r.Obs.Counters["solver/solves"] <= 0 {
+			return fmt.Errorf("run report: missing solver/solves counter")
 		}
-	}
-	if !iters {
-		return fmt.Errorf("run report: no *_iters iteration histogram")
+		if _, ok := r.Obs.Histograms["solver/batch_size"]; !ok {
+			return fmt.Errorf("run report: missing solver/batch_size histogram")
+		}
+		iters := false
+		for name := range r.Obs.Histograms {
+			if strings.HasSuffix(name, "_iters") {
+				iters = true
+				break
+			}
+		}
+		if !iters {
+			return fmt.Errorf("run report: no *_iters iteration histogram")
+		}
+	} else if r.Obs.Counters["solver/solves"] != 0 {
+		return fmt.Errorf("run report: serving report performed %d substrate solves, want 0",
+			r.Obs.Counters["solver/solves"])
 	}
 	if r.Schema == ReportSchema {
 		if err := validateNumerics(r.Numerics); err != nil {

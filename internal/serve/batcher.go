@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"subcouple/internal/obs"
+)
+
+// ErrClosed is returned by Batcher.Apply after Close: the daemon is
+// draining and accepts no new work.
+var ErrClosed = errors.New("serve: batcher closed")
+
+// DefaultMaxBatch bounds how many requests one flush may coalesce when the
+// Batcher is configured with maxBatch <= 0.
+const DefaultMaxBatch = 32
+
+// Batcher coalesces concurrent Apply requests on one model into single
+// multi-RHS Engine.ApplyBatchInto calls. The first request opens a batch;
+// the collector goroutine keeps admitting requests until the coalescing
+// window elapses or the batch is full, then flushes the whole batch through
+// one engine checked out of the pool. Flushes run concurrently up to the
+// pool size, so a long window never serializes the daemon.
+//
+// Coalescing is invisible in the response bytes: ApplyBatchInto computes
+// each column with exactly the single-RHS arithmetic (and is bitwise
+// deterministic for any worker count), so a batched response is identical
+// to the unbatched one. The window only trades a little latency for
+// throughput.
+type Batcher struct {
+	pool     *Pool
+	window   time.Duration
+	maxBatch int
+	workers  int
+	rec      *obs.Recorder
+	tr       *obs.Tracer
+
+	reqs    chan *applyReq
+	idle    chan struct{} // closed when the collector exits
+	flights sync.WaitGroup
+
+	mu     sync.RWMutex // guards closed and the send into reqs
+	closed bool
+}
+
+// applyReq is one enqueued apply: x in, dst out, done fired on completion.
+type applyReq struct {
+	x, dst      []float64
+	thresholded bool
+	done        chan error
+}
+
+// NewBatcher starts the collector for pool with the given coalescing window
+// (0 flushes immediately, still fusing whatever is already queued), batch
+// bound (<= 0 selects DefaultMaxBatch) and engine worker count.
+func NewBatcher(pool *Pool, window time.Duration, maxBatch, workers int, rec *obs.Recorder, tr *obs.Tracer) *Batcher {
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	b := &Batcher{
+		pool:     pool,
+		window:   window,
+		maxBatch: maxBatch,
+		workers:  workers,
+		rec:      rec,
+		tr:       tr,
+		reqs:     make(chan *applyReq, 2*maxBatch),
+		idle:     make(chan struct{}),
+	}
+	go b.collect()
+	return b
+}
+
+// Apply computes dst = G·x (Gwt·-based when thresholded) through a coalesced
+// batch, blocking until the batch completes. ctx bounds only admission (the
+// wait for queue space); once admitted a request always runs — graceful
+// shutdown drains it. Dimensions are validated here so a mis-sized request
+// can never poison a whole batch.
+func (b *Batcher) Apply(ctx context.Context, dst, x []float64, thresholded bool) error {
+	n := b.pool.Model().N
+	if len(x) != n {
+		return fmt.Errorf("serve: apply x has length %d, want %d", len(x), n)
+	}
+	if len(dst) != n {
+		return fmt.Errorf("serve: apply dst has length %d, want %d", len(dst), n)
+	}
+	if thresholded && b.pool.Model().Gwt == nil {
+		return fmt.Errorf("serve: model %q has no thresholded representation", b.pool.Model().Method)
+	}
+	req := &applyReq{x: x, dst: dst, thresholded: thresholded, done: make(chan error, 1)}
+
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return ErrClosed
+	}
+	select {
+	case b.reqs <- req:
+		b.mu.RUnlock()
+	case <-ctx.Done():
+		b.mu.RUnlock()
+		return ctx.Err()
+	}
+	return <-req.done
+}
+
+// Close stops admission and drains: it waits for the collector to exit and
+// for every in-flight batch to complete. Safe to call more than once.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	already := b.closed
+	b.closed = true
+	if !already {
+		close(b.reqs)
+	}
+	b.mu.Unlock()
+	<-b.idle
+	b.flights.Wait()
+}
+
+// collect is the batching loop: one batch per iteration, flushed on its own
+// goroutine so gathering the next batch overlaps the current flush.
+func (b *Batcher) collect() {
+	defer close(b.idle)
+	for {
+		req, ok := <-b.reqs
+		if !ok {
+			return
+		}
+		batch := b.gather(req)
+		b.flights.Add(1)
+		go b.flush(batch)
+	}
+}
+
+// gather admits requests after first until the window elapses, the batch is
+// full, or the queue closes. Thresholded applies use a different operator
+// (Gwt), so a batch holds one kind only: a mismatched arrival flushes into
+// its own next batch via the one-slot handoff below.
+func (b *Batcher) gather(first *applyReq) []*applyReq {
+	batch := make([]*applyReq, 1, b.maxBatch)
+	batch[0] = first
+	var timeout <-chan time.Time
+	if b.window > 0 {
+		timer := time.NewTimer(b.window)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	for len(batch) < b.maxBatch {
+		if b.window > 0 {
+			select {
+			case r, ok := <-b.reqs:
+				if !ok {
+					return batch
+				}
+				if r.thresholded != first.thresholded {
+					return b.splitOff(batch, r)
+				}
+				batch = append(batch, r)
+			case <-timeout:
+				return batch
+			}
+		} else {
+			select {
+			case r, ok := <-b.reqs:
+				if !ok {
+					return batch
+				}
+				if r.thresholded != first.thresholded {
+					return b.splitOff(batch, r)
+				}
+				batch = append(batch, r)
+			default:
+				return batch
+			}
+		}
+	}
+	return batch
+}
+
+// splitOff flushes a straggler of the other operator kind as its own batch
+// and ends the current gather.
+func (b *Batcher) splitOff(batch []*applyReq, r *applyReq) []*applyReq {
+	b.flights.Add(1)
+	go b.flush([]*applyReq{r})
+	return batch
+}
+
+// flush runs one batch on a pool engine and completes every request in it.
+// Panics (engine misuse, impossible dimensions — all pre-validated, so this
+// is a backstop) are converted to errors instead of killing the daemon.
+func (b *Batcher) flush(batch []*applyReq) {
+	defer b.flights.Done()
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("serve: apply panic: %v", r)
+			}
+		}()
+		eng, err := b.pool.Get(context.Background())
+		if err != nil {
+			return err
+		}
+		defer b.pool.Put(eng)
+		b.rec.Add("serve/batches", 1)
+		b.rec.Observe("serve/batch_size", float64(len(batch)))
+		sp := b.tr.Begin("serve/flush").Arg("cols", len(batch))
+		defer sp.End()
+		if batch[0].thresholded {
+			// Gwt applies have no batched engine path; run them back to back
+			// on the checked-out engine.
+			for _, r := range batch {
+				eng.ApplyThresholdedInto(r.dst, r.x)
+			}
+			return nil
+		}
+		if len(batch) == 1 {
+			eng.ApplyInto(batch[0].dst, batch[0].x)
+			return nil
+		}
+		dst := make([][]float64, len(batch))
+		xs := make([][]float64, len(batch))
+		for i, r := range batch {
+			dst[i], xs[i] = r.dst, r.x
+		}
+		eng.ApplyBatchInto(dst, xs, b.workers)
+		return nil
+	}()
+	for _, r := range batch {
+		r.done <- err
+	}
+}

@@ -1,0 +1,90 @@
+// Package serve is the model-serving layer behind cmd/subserve: it loads
+// .scm model artifacts (internal/model) into a registry and serves G·x
+// applies over HTTP. The expensive O(log n)-solve extraction happened
+// offline; serving amortizes it across many cheap applies, so the layer is
+// built around two pieces:
+//
+//   - Pool: a fixed-size checkout pool of model.Engine instances over one
+//     shared immutable Model. An Engine is single-threaded (its scratch
+//     buffers carry per-call state), so concurrent handlers check an engine
+//     out, apply, and return it; the pool size is the per-model concurrency
+//     limit.
+//   - Batcher: request micro-batching. Concurrent apply requests landing
+//     within a small coalescing window are fused into one multi-RHS
+//     Engine.ApplyBatchInto call. Column-wise the batched apply runs exactly
+//     the same arithmetic as a single ApplyInto, so coalescing never changes
+//     response bytes — it only buys throughput.
+//
+// Server (server.go) wires both behind /healthz, /readyz, /models, /apply,
+// /column and /fingerprint endpoints with strict dimension validation,
+// per-request timeouts and internal/obs instrumentation.
+package serve
+
+import (
+	"context"
+	"time"
+
+	"subcouple/internal/model"
+	"subcouple/internal/obs"
+	"subcouple/internal/par"
+)
+
+// Pool is a fixed-size checkout pool of model.Engine instances over one
+// shared *model.Model. Get blocks while all engines are busy, so the pool
+// size bounds how many applies run concurrently on the model.
+type Pool struct {
+	m       *model.Model
+	engines chan *model.Engine
+	size    int
+	rec     *obs.Recorder
+}
+
+// NewPool builds size engines over m (size <= 0 selects runtime.NumCPU()).
+// The recorder and tracer are attached to every engine and may be nil.
+func NewPool(m *model.Model, size int, rec *obs.Recorder, tr *obs.Tracer) *Pool {
+	size = par.Workers(size)
+	p := &Pool{m: m, engines: make(chan *model.Engine, size), size: size, rec: rec}
+	for i := 0; i < size; i++ {
+		e := model.NewEngine(m)
+		e.SetObs(rec, tr)
+		p.engines <- e
+	}
+	return p
+}
+
+// Model returns the pool's shared model.
+func (p *Pool) Model() *model.Model { return p.m }
+
+// Size returns the pool's engine count (the concurrency limit).
+func (p *Pool) Size() int { return p.size }
+
+// Get checks an engine out, blocking until one is free or ctx is done. The
+// caller must hand the engine back with Put on every path.
+func (p *Pool) Get(ctx context.Context) (*model.Engine, error) {
+	select {
+	case e := <-p.engines:
+		return e, nil
+	default:
+	}
+	// All engines busy: record the wait so saturation shows up in the
+	// run report rather than only as client latency.
+	start := time.Now()
+	select {
+	case e := <-p.engines:
+		p.rec.Observe("serve/pool_wait_us", float64(time.Since(start).Microseconds()))
+		return e, nil
+	case <-ctx.Done():
+		p.rec.Add("serve/pool_timeouts", 1)
+		return nil, ctx.Err()
+	}
+}
+
+// Put returns an engine to the pool. It must have come from Get on the same
+// pool, exactly once.
+func (p *Pool) Put(e *model.Engine) {
+	select {
+	case p.engines <- e:
+	default:
+		panic("serve: Pool.Put without a matching Get")
+	}
+}

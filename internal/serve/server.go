@@ -1,0 +1,495 @@
+package serve
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"subcouple/internal/model"
+	"subcouple/internal/obs"
+)
+
+// Options configures a Server. The zero value is usable: NumCPU engines per
+// model, immediate flushes, DefaultMaxBatch, no per-request timeout.
+type Options struct {
+	// PoolSize is the number of engines (the concurrency limit) per model;
+	// <= 0 selects runtime.NumCPU().
+	PoolSize int
+	// Window is the micro-batching coalescing window; 0 flushes immediately
+	// (still fusing whatever is already queued).
+	Window time.Duration
+	// MaxBatch bounds the columns fused into one flush (<= 0 selects
+	// DefaultMaxBatch).
+	MaxBatch int
+	// Workers is the engine worker count for batched applies (0 = all CPUs);
+	// responses are bitwise identical for any value.
+	Workers int
+	// Timeout bounds each request's admission + pool wait (0 = none).
+	Timeout time.Duration
+	// Recorder and Tracer receive serving telemetry; both may be nil.
+	Recorder *obs.Recorder
+	Tracer   *obs.Tracer
+}
+
+// servedModel is one registry entry: the decoded model plus its serving
+// machinery and the fingerprint computed at load time.
+type servedModel struct {
+	name        string
+	m           *model.Model
+	pool        *Pool
+	batcher     *Batcher
+	fingerprint uint64
+}
+
+// Server is the HTTP face of the registry. Endpoints:
+//
+//	GET  /healthz              process liveness (always 200 while up)
+//	GET  /readyz               200 once models are loaded, 503 while draining
+//	GET  /models               JSON metadata for every loaded model
+//	POST /apply                G·x; JSON or raw float64-LE body (see handleApply)
+//	GET  /column               one operator column (?model=&j=&thresholded=&format=)
+//	GET  /fingerprint          deterministic probe-apply hash through the live pool
+type Server struct {
+	opt    Options
+	names  []string // sorted registry order
+	models map[string]*servedModel
+
+	ready    atomic.Bool
+	draining atomic.Bool
+}
+
+// New returns an empty registry server.
+func New(opt Options) *Server {
+	return &Server{opt: opt, models: map[string]*servedModel{}}
+}
+
+// AddModel registers m under name, building its engine pool and batcher.
+// The model must already be validated (model.Decode guarantees it).
+func (s *Server) AddModel(name string, m *model.Model) error {
+	if name == "" {
+		return fmt.Errorf("serve: empty model name")
+	}
+	if _, ok := s.models[name]; ok {
+		return fmt.Errorf("serve: duplicate model name %q", name)
+	}
+	pool := NewPool(m, s.opt.PoolSize, s.opt.Recorder, s.opt.Tracer)
+	sm := &servedModel{
+		name:    name,
+		m:       m,
+		pool:    pool,
+		batcher: NewBatcher(pool, s.opt.Window, s.opt.MaxBatch, s.opt.Workers, s.opt.Recorder, s.opt.Tracer),
+	}
+	// The load-time fingerprint goes through a pool engine, so /models
+	// reports the hash of the bytes this daemon will actually serve.
+	eng, err := pool.Get(context.Background())
+	if err != nil {
+		return err
+	}
+	sm.fingerprint = eng.Fingerprint(s.opt.Workers)
+	pool.Put(eng)
+	s.models[name] = sm
+	s.names = append(s.names, name)
+	sort.Strings(s.names)
+	return nil
+}
+
+// LoadFile decodes one .scm artifact and registers it under its base file
+// name (sans extension). It returns the registered name.
+func (s *Server) LoadFile(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", fmt.Errorf("serve: %w", err)
+	}
+	defer f.Close()
+	m, err := model.Read(f)
+	if err != nil {
+		return "", fmt.Errorf("serve: load %s: %w", path, err)
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	if err := s.AddModel(name, m); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+// Names returns the registered model names in sorted order.
+func (s *Server) Names() []string { return append([]string(nil), s.names...) }
+
+// Model returns the registry entry's model, or nil.
+func (s *Server) Model(name string) *model.Model {
+	if sm := s.models[name]; sm != nil {
+		return sm.m
+	}
+	return nil
+}
+
+// Fingerprint returns the load-time fingerprint of a registered model.
+func (s *Server) Fingerprint(name string) (uint64, bool) {
+	sm := s.models[name]
+	if sm == nil {
+		return 0, false
+	}
+	return sm.fingerprint, true
+}
+
+// SetReady flips /readyz; cmd/subserve arms it after the listener is bound.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Close begins the drain: /readyz starts failing, new applies are refused,
+// and Close blocks until every in-flight batch has completed.
+func (s *Server) Close() {
+	s.draining.Store(true)
+	for _, name := range s.names {
+		s.models[name].batcher.Close()
+	}
+}
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("/readyz", s.instrument("readyz", s.handleReadyz))
+	mux.HandleFunc("/models", s.instrument("models", s.handleModels))
+	mux.HandleFunc("/apply", s.instrument("apply", s.handleApply))
+	mux.HandleFunc("/column", s.instrument("column", s.handleColumn))
+	mux.HandleFunc("/fingerprint", s.instrument("fingerprint", s.handleFingerprint))
+	return mux
+}
+
+// instrument wraps a handler with the per-endpoint request counter and
+// latency histogram (microseconds; the recorder's power-of-two buckets).
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	rec := s.opt.Recorder
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec.Add("serve/req_"+name, 1)
+		h(w, r)
+		rec.Observe("serve/latency_us_"+name, float64(time.Since(start).Microseconds()))
+	}
+}
+
+// reqCtx applies the per-request timeout.
+func (s *Server) reqCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.opt.Timeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.opt.Timeout)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() || s.draining.Load() {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return
+	}
+	io.WriteString(w, "ready\n")
+}
+
+// modelInfo is one /models row.
+type modelInfo struct {
+	Name        string `json:"name"`
+	Method      string `json:"method"`
+	Contacts    int    `json:"contacts"`
+	Solves      int    `json:"solves"`
+	GwNNZ       int    `json:"gw_nnz"`
+	GwtNNZ      int    `json:"gwt_nnz,omitempty"`
+	Thresholded bool   `json:"thresholded"`
+	PoolSize    int    `json:"pool_size"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	infos := make([]modelInfo, 0, len(s.names))
+	for _, name := range s.names {
+		sm := s.models[name]
+		info := modelInfo{
+			Name:        name,
+			Method:      sm.m.Method,
+			Contacts:    sm.m.N,
+			Solves:      sm.m.Solves,
+			GwNNZ:       sm.m.Gw.NNZ(),
+			Thresholded: sm.m.Gwt != nil,
+			PoolSize:    sm.pool.Size(),
+			Fingerprint: fmt.Sprintf("%016x", sm.fingerprint),
+		}
+		if sm.m.Gwt != nil {
+			info.GwtNNZ = sm.m.Gwt.NNZ()
+		}
+		infos = append(infos, info)
+	}
+	writeJSON(w, infos)
+}
+
+// lookup resolves the model named in the request (query param or JSON
+// field). With exactly one model loaded the name may be omitted.
+func (s *Server) lookup(w http.ResponseWriter, name string) *servedModel {
+	if name == "" {
+		if len(s.names) == 1 {
+			return s.models[s.names[0]]
+		}
+		http.Error(w, fmt.Sprintf("model name required (loaded: %s)", strings.Join(s.names, ", ")),
+			http.StatusBadRequest)
+		return nil
+	}
+	sm := s.models[name]
+	if sm == nil {
+		http.Error(w, fmt.Sprintf("unknown model %q (loaded: %s)", name, strings.Join(s.names, ", ")),
+			http.StatusNotFound)
+		return nil
+	}
+	return sm
+}
+
+// applyRequest is the JSON /apply body.
+type applyRequest struct {
+	Model       string    `json:"model,omitempty"`
+	X           []float64 `json:"x"`
+	Thresholded bool      `json:"thresholded,omitempty"`
+}
+
+// applyResponse is the JSON /apply and /column reply. encoding/json prints
+// float64s in the shortest form that parses back to the identical bits, so
+// a JSON response round-trips bitwise just like the raw codec.
+type applyResponse struct {
+	Model string    `json:"model"`
+	N     int       `json:"n"`
+	Y     []float64 `json:"y"`
+}
+
+// handleApply computes y = G·x. Two codecs share the endpoint, selected by
+// Content-Type:
+//
+//   - application/json (default): body {"model":..., "x":[...], "thresholded":bool},
+//     reply {"model":..., "n":..., "y":[...]}.
+//   - application/octet-stream: body is exactly 8·N bytes of little-endian
+//     float64; model and thresholded come from ?model= and ?thresholded=1;
+//     the reply is 8·N bytes in the same encoding.
+//
+// x must have exactly the model's contact count; anything else is a 400
+// naming both lengths, checked before the request can reach an engine.
+func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	raw := strings.HasPrefix(r.Header.Get("Content-Type"), "application/octet-stream")
+
+	var (
+		sm          *servedModel
+		x           []float64
+		thresholded bool
+	)
+	if raw {
+		sm = s.lookup(w, r.URL.Query().Get("model"))
+		if sm == nil {
+			return
+		}
+		thresholded = queryBool(r, "thresholded")
+		var ok bool
+		x, ok = readRawVector(w, r, sm.m.N)
+		if !ok {
+			return
+		}
+	} else {
+		var req applyRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		sm = s.lookup(w, req.Model)
+		if sm == nil {
+			return
+		}
+		thresholded = req.Thresholded
+		x = req.X
+	}
+	if len(x) != sm.m.N {
+		http.Error(w, fmt.Sprintf("apply x has length %d, want %d (model %s)", len(x), sm.m.N, sm.name),
+			http.StatusBadRequest)
+		return
+	}
+	if thresholded && sm.m.Gwt == nil {
+		http.Error(w, fmt.Sprintf("model %s has no thresholded representation", sm.name),
+			http.StatusBadRequest)
+		return
+	}
+
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	y := make([]float64, sm.m.N)
+	if err := sm.batcher.Apply(ctx, y, x, thresholded); err != nil {
+		s.applyError(w, err)
+		return
+	}
+	if raw {
+		writeRawVector(w, y)
+		return
+	}
+	writeJSON(w, applyResponse{Model: sm.name, N: sm.m.N, Y: y})
+}
+
+// handleColumn serves one operator column: GET /column?model=&j=&thresholded=1
+// (&format=raw for the binary codec). A column apply is small, so it goes
+// straight through the pool rather than the batcher.
+func (s *Server) handleColumn(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	sm := s.lookup(w, r.URL.Query().Get("model"))
+	if sm == nil {
+		return
+	}
+	j, err := strconv.Atoi(r.URL.Query().Get("j"))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("column index j=%q is not an integer", r.URL.Query().Get("j")),
+			http.StatusBadRequest)
+		return
+	}
+	if j < 0 || j >= sm.m.N {
+		http.Error(w, fmt.Sprintf("column %d out of range [0,%d) (model %s)", j, sm.m.N, sm.name),
+			http.StatusBadRequest)
+		return
+	}
+	thresholded := queryBool(r, "thresholded")
+	if thresholded && sm.m.Gwt == nil {
+		http.Error(w, fmt.Sprintf("model %s has no thresholded representation", sm.name),
+			http.StatusBadRequest)
+		return
+	}
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	eng, err := sm.pool.Get(ctx)
+	if err != nil {
+		s.applyError(w, err)
+		return
+	}
+	y := make([]float64, sm.m.N)
+	if thresholded {
+		eng.ColumnThresholdedInto(y, j)
+	} else {
+		eng.ColumnInto(y, j)
+	}
+	sm.pool.Put(eng)
+	if r.URL.Query().Get("format") == "raw" {
+		writeRawVector(w, y)
+		return
+	}
+	writeJSON(w, applyResponse{Model: sm.name, N: sm.m.N, Y: y})
+}
+
+// handleFingerprint recomputes the deterministic probe-apply hash through a
+// live pool engine, so the value reflects the serving path as it is right
+// now (and must equal both the load-time /models value and what
+// `subx -load` prints for the same artifact).
+func (s *Server) handleFingerprint(w http.ResponseWriter, r *http.Request) {
+	sm := s.lookup(w, r.URL.Query().Get("model"))
+	if sm == nil {
+		return
+	}
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	eng, err := sm.pool.Get(ctx)
+	if err != nil {
+		s.applyError(w, err)
+		return
+	}
+	fp := eng.Fingerprint(s.opt.Workers)
+	sm.pool.Put(eng)
+	writeJSON(w, map[string]string{"model": sm.name, "fingerprint": fmt.Sprintf("%016x", fp)})
+}
+
+// applyError maps serving errors to status codes: refusal while draining
+// and pool/admission timeouts are 503 (retryable elsewhere), everything
+// else is a 400-class caller problem.
+func (s *Server) applyError(w http.ResponseWriter, err error) {
+	s.opt.Recorder.Add("serve/errors", 1)
+	switch {
+	case errors.Is(err, ErrClosed), errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+// readJSON strictly decodes the request body into v (unknown fields and
+// trailing garbage are errors).
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		http.Error(w, fmt.Sprintf("bad JSON request: %v", err), http.StatusBadRequest)
+		return false
+	}
+	if dec.More() {
+		http.Error(w, "bad JSON request: trailing data", http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// readRawVector reads the binary codec body: exactly 8·n little-endian
+// float64 bytes.
+func readRawVector(w http.ResponseWriter, r *http.Request, n int) ([]float64, bool) {
+	want := 8 * n
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, int64(want)+1))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("raw body: %v (want exactly %d bytes = %d float64-LE)", err, want, n),
+			http.StatusBadRequest)
+		return nil, false
+	}
+	if len(body) != want {
+		http.Error(w, fmt.Sprintf("raw body has %d bytes, want exactly %d (%d float64-LE)", len(body), want, n),
+			http.StatusBadRequest)
+		return nil, false
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[8*i:]))
+	}
+	return x, true
+}
+
+// writeRawVector writes y as 8·len(y) little-endian float64 bytes.
+func writeRawVector(w http.ResponseWriter, y []float64) {
+	buf := make([]byte, 8*len(y))
+	for i, v := range y {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(buf)))
+	w.Write(buf)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func queryBool(r *http.Request, key string) bool {
+	switch strings.ToLower(r.URL.Query().Get(key)) {
+	case "1", "true", "yes", "on":
+		return true
+	}
+	return false
+}
