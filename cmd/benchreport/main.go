@@ -10,18 +10,31 @@
 // Usage:
 //
 //	benchreport [-short] [-reps 3] [-out BENCH_extract.json]
+//	benchreport -scaling [-short] [-max 4096] [-membudget N] [-out BENCH_scaling.json]
 //	benchreport -check run.json   # validate a subx/tables -report file
 //	benchreport -diff -tol 0.15 old.json new.json   # perf-regression gate
 //
 // -short shrinks the case to 64 contacts so CI can exercise regeneration
 // cheaply; the committed file is produced by a full (non-short) run.
 //
-// -diff compares two benchmark files and exits nonzero when any shared
-// configuration got slower than old × (1+tol), or when solve counts diverge
-// on the same case — the CI gate that turns BENCH_extract.json from a
-// snapshot into a guarded trajectory. Files for different cases (e.g. the
-// committed full run vs a -short CI run) compare informationally: mismatched
-// solve counts only warn.
+// -scaling runs the paper-scale ladder instead (see scaling.go): both
+// methods over regular/alternating grids up to -max contacts (default 4096;
+// 256 with -short; 10240 adds the Example 5 rung), writing per-point solves,
+// nnz, phase times, and peak memory plus fitted growth exponents to
+// BENCH_scaling.json. -membudget caps low-rank respond-batch memory in
+// bytes (0 = unbounded; outputs are bitwise identical either way).
+//
+// -diff compares two benchmark files and exits nonzero on regression; it
+// dispatches on the files' schema field, so it gates BENCH_extract.json and
+// BENCH_scaling.json with the same flag. For extract files a regression is a
+// shared configuration slower than old × (1+tol), a solve-count change, or a
+// configuration that disappeared — gated only when the files describe the
+// same case; different cases (e.g. the committed full run vs a -short CI
+// run) compare informationally. For scaling files the deterministic columns
+// gate across machines: shared (family, method, n) points must match solves
+// and nnz exactly, points within the new run's -max must not disappear, and
+// fitted solves/nnz exponents may not drift more than tol when both sides
+// fit at least three rungs; wall times stay informational.
 package main
 
 import (
@@ -78,12 +91,15 @@ type benchFile struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_extract.json", "write the benchmark report to this file")
-	short := flag.Bool("short", false, "use the 64-contact case (fast; for CI)")
+	out := flag.String("out", "", "write the benchmark report to this file (default BENCH_extract.json, or BENCH_scaling.json with -scaling)")
+	short := flag.Bool("short", false, "use the 64-contact case (fast; for CI); with -scaling, cap the ladder at 256 contacts")
 	reps := flag.Int("reps", 3, "timed repetitions per configuration")
 	check := flag.String("check", "", "validate a run report written by subx/tables -report, then exit")
 	diff := flag.Bool("diff", false, "compare two benchmark files (old.json new.json as positional args) and exit nonzero on regression")
-	tol := flag.Float64("tol", 0.15, "with -diff: allowed fractional slowdown before failing (0.15 = 15%)")
+	tol := flag.Float64("tol", 0.15, "with -diff: allowed fractional slowdown (extract) or absolute exponent drift (scaling) before failing")
+	scaling := flag.Bool("scaling", false, "run the paper-scale scaling ladder and write BENCH_scaling.json")
+	maxContacts := flag.Int("max", 0, "with -scaling: largest ladder rung in contacts (default 4096; 256 with -short; 10240 adds the Example 5 rung)")
+	memBudget := flag.Int64("membudget", 0, "with -scaling: low-rank respond-batch memory cap in bytes (0 = unbounded)")
 	flag.Parse()
 	log.SetFlags(log.Ltime)
 
@@ -103,7 +119,28 @@ func main() {
 		}
 		return
 	}
-	if err := run(*out, *short, *reps); err != nil {
+	if *scaling {
+		mx := *maxContacts
+		if mx == 0 {
+			mx = 4096
+			if *short {
+				mx = 256
+			}
+		}
+		dst := *out
+		if dst == "" {
+			dst = "BENCH_scaling.json"
+		}
+		if err := runScaling(dst, *short, mx, *memBudget); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	dst := *out
+	if dst == "" {
+		dst = "BENCH_extract.json"
+	}
+	if err := run(dst, *short, *reps); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -140,18 +177,61 @@ func loadBench(path string) (*benchFile, error) {
 	return &doc, nil
 }
 
+// sniffSchema reads just the schema field of a benchmark file so -diff can
+// dispatch between the extract and scaling comparators.
+func sniffSchema(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	var head struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &head); err != nil {
+		return "", fmt.Errorf("%s: %w", path, err)
+	}
+	return head.Schema, nil
+}
+
 // diffFiles implements -diff: compare newPath against oldPath and return an
-// error (→ nonzero exit) when a shared configuration regressed.
+// error (→ nonzero exit) when a shared configuration regressed. The
+// comparator is chosen by the files' schema: extract files get diffBench,
+// scaling files get diffScaling.
 func diffFiles(w io.Writer, oldPath, newPath string, tol float64) error {
-	oldDoc, err := loadBench(oldPath)
+	oldSchema, err := sniffSchema(oldPath)
 	if err != nil {
 		return err
 	}
-	newDoc, err := loadBench(newPath)
+	newSchema, err := sniffSchema(newPath)
 	if err != nil {
 		return err
 	}
-	regs := diffBench(w, oldDoc, newDoc, tol)
+	if oldSchema != newSchema {
+		return fmt.Errorf("schema mismatch: %s is %q, %s is %q", oldPath, oldSchema, newPath, newSchema)
+	}
+	var regs []string
+	switch oldSchema {
+	case scalingSchema:
+		oldDoc, err := loadScaling(oldPath)
+		if err != nil {
+			return err
+		}
+		newDoc, err := loadScaling(newPath)
+		if err != nil {
+			return err
+		}
+		regs = diffScaling(w, oldDoc, newDoc, tol)
+	default:
+		oldDoc, err := loadBench(oldPath)
+		if err != nil {
+			return err
+		}
+		newDoc, err := loadBench(newPath)
+		if err != nil {
+			return err
+		}
+		regs = diffBench(w, oldDoc, newDoc, tol)
+	}
 	if len(regs) > 0 {
 		return fmt.Errorf("benchmark regression vs %s:\n  %s", oldPath, strings.Join(regs, "\n  "))
 	}
@@ -160,12 +240,14 @@ func diffFiles(w io.Writer, oldPath, newPath string, tol float64) error {
 
 // diffBench compares configurations shared by name and returns the list of
 // regressions. A configuration regresses when its best-of time exceeds
-// old × (1+tol), or when its solve count changes at all (solve counts are
-// deterministic, so any drift is an algorithm change, not noise). Both
-// checks require the two files to describe the same case — when they differ
-// (e.g. the committed full-size file against a -short CI run) every
-// comparison is informational only, so the gate can be wired into CI before
-// the committed file is regenerated.
+// old × (1+tol), when its solve count changes at all (solve counts are
+// deterministic, so any drift is an algorithm change, not noise), or when a
+// baseline configuration disappears from the new file — a vanished row is
+// the quietest way to lose a gate, so it fails loudly. All checks require
+// the two files to describe the same case — when they differ (e.g. the
+// committed full-size file against a -short CI run) every comparison is
+// informational only, so the gate can be wired into CI before the committed
+// file is regenerated.
 func diffBench(w io.Writer, oldDoc, newDoc *benchFile, tol float64) []string {
 	sameCase := oldDoc.Case == newDoc.Case && oldDoc.Contacts == newDoc.Contacts
 	if !sameCase {
@@ -206,6 +288,23 @@ func diffBench(w io.Writer, oldDoc, newDoc *benchFile, tol float64) []string {
 		}
 		fmt.Fprintf(w, "%-16s %8.3fs/op -> %8.3fs/op  (%.2fx)  solves %d -> %d  %s\n",
 			nr.Name, or.SecondsPerOp, nr.SecondsPerOp, ratio, or.Solves, nr.Solves, status)
+	}
+	newNames := make(map[string]bool, len(newDoc.Benchmarks))
+	for _, nr := range newDoc.Benchmarks {
+		newNames[nr.Name] = true
+	}
+	for _, or := range oldDoc.Benchmarks {
+		if newNames[or.Name] {
+			continue
+		}
+		if sameCase {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: configuration disappeared (was %.3fs/op, %d solves)",
+					or.Name, or.SecondsPerOp, or.Solves))
+			fmt.Fprintf(w, "%-16s disappeared from new file  REGRESSION\n", or.Name)
+		} else {
+			fmt.Fprintf(w, "%-16s not in new file (different case, not gated)\n", or.Name)
+		}
 	}
 	return regressions
 }

@@ -68,6 +68,15 @@ type Options struct {
 	// and per-square basis work; <= 0 selects runtime.NumCPU() and 1 runs
 	// fully serial. Extraction results are bitwise-identical for any value.
 	Workers int
+	// MaxBatchBytes, when > 0, caps the memory held by in-flight right-hand
+	// sides during the low-rank respond phases: solve groups are issued in
+	// chunks of at most this many bytes and separated chunk-by-chunk instead
+	// of all at once. At 10k+ contacts the unbounded batches dominate peak
+	// heap, so the scaling suite sets this. Chunking never changes output —
+	// results are bitwise identical for any budget (enforced by the
+	// determinism suite). 0 means unbounded. Ignored by the wavelet method,
+	// whose per-level batches are already O(levels) vectors.
+	MaxBatchBytes int64
 	// Recorder, when non-nil, collects per-phase wall times, solve counts,
 	// batch stats, and (for instrumented solvers) iteration histograms
 	// during the extraction. Recording never changes extraction outputs —
@@ -183,6 +192,9 @@ func Extract(s solver.Solver, layout *geom.Layout, opt Options) (*Result, error)
 		}
 		if lopt.Workers == 0 {
 			lopt.Workers = opt.Workers
+		}
+		if lopt.MaxBatchBytes == 0 {
+			lopt.MaxBatchBytes = opt.MaxBatchBytes
 		}
 		lopt.Rec = opt.Recorder
 		lopt.Trace = opt.Tracer

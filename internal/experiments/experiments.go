@@ -106,14 +106,16 @@ func ExampleMixed() Case {
 	return Case{"4-mixed-shapes", split, 5, 128}
 }
 
-// Example4 is the 64x64 alternating grid (thesis Ex 4, 4096 contacts).
+// Example4 is the 64x64 alternating grid (thesis Ex 4, 4096 contacts),
+// generated behind the stable geom.Paper4096 name.
 func Example4() Case {
-	return Case{"ex4-4096", geom.AlternatingGrid(256, 256, 64, 64, 1, 3), 6, 256}
+	return Case{"ex4-4096", geom.Paper4096(), 6, 256}
 }
 
-// Example5 is the 10240-contact large mixed layout (Fig 4-10, thesis Ex 5).
+// Example5 is the 10240-contact large mixed layout (Fig 4-10, thesis Ex 5),
+// generated behind the stable geom.Paper10240 name.
 func Example5() Case {
-	return Case{"ex5-10240", geom.LargeMixed(256, 128, 10240), 7, 256}
+	return Case{"ex5-10240", geom.Paper10240(), 7, 256}
 }
 
 // Profile returns the thesis Ch. 3.7 substrate for a case: two layers with

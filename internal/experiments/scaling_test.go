@@ -4,38 +4,71 @@ import (
 	"testing"
 
 	"subcouple/internal/core"
-	"subcouple/internal/geom"
 	"subcouple/internal/solver"
 )
 
-// TestSolveCountScaling checks the thesis's central complexity claim: the
-// number of black-box solves grows far slower than n (O(log n) for regular
-// layouts, §3.5.1), so the solve-reduction factor n/solves grows with n.
-func TestSolveCountScaling(t *testing.T) {
+// scalingThresholds are the growth bounds a tier must beat. The short
+// 64→256 tier is pre-asymptotic — at n=64 the quadtree has barely three
+// levels and Gw is still nearly dense — so its bounds only pin that growth
+// is clearly sublinear and monotonically improving; the 256→1024 tier gets
+// the strict thesis-trend bounds.
+type scalingThresholds struct {
+	maxSolveGrowth  float64 // solves(4n)/solves(n) must stay below this
+	minSparsityGain float64 // sparsity(4n)/sparsity(n) must exceed this
+}
+
+// scalingTier returns the ladder slice the current test mode measures
+// growth over, with its calibrated thresholds. Short mode runs the fast
+// 64→256-contact tier so CI's -short runs never skip the scaling claims
+// entirely; the normal tier quadruples n twice more (256→1024). The
+// paper-scale 4096/10240 rungs live in the nightly suite (TestAtScale* and
+// benchreport -scaling).
+func scalingTier(t *testing.T, family string) ([]ScalingCase, scalingThresholds) {
+	t.Helper()
+	var tier []ScalingCase
+	lo, hi := 256, 1024
+	th := scalingThresholds{maxSolveGrowth: 2, minSparsityGain: 1.5}
 	if testing.Short() {
-		t.Skip("scaling test is slow")
+		lo, hi = 64, 256
+		th = scalingThresholds{maxSolveGrowth: 3.2, minSparsityGain: 1.2}
 	}
+	for _, sc := range ScalingLadder(hi) {
+		if sc.Family == family && sc.Case.Layout.N() >= lo {
+			tier = append(tier, sc)
+		}
+	}
+	if len(tier) != 2 {
+		t.Fatalf("scaling tier for %s has %d rungs, want 2", family, len(tier))
+	}
+	return tier, th
+}
+
+// TestSolveCountScaling checks the thesis's central complexity claim on the
+// regular-grid family: the number of black-box solves grows far slower than
+// n (O(log n) for regular layouts, §3.5.1), so the solve-reduction factor
+// n/solves grows with n.
+func TestSolveCountScaling(t *testing.T) {
+	tier, th := scalingTier(t, "regular")
 	type point struct {
 		n, solves int
 	}
-	run := func(nx, lev int, method core.Method) point {
-		layout := geom.RegularGrid(float64(nx*4), float64(nx*4), nx, nx, 2)
-		g := SyntheticG(layout)
+	run := func(sc ScalingCase, method core.Method) point {
+		g := SyntheticG(sc.Case.Layout)
 		c := solver.NewCounting(solver.NewDense(g))
-		if _, err := core.Extract(c, layout, core.Options{Method: method, MaxLevel: lev}); err != nil {
+		if _, err := core.Extract(c, sc.Case.Layout, core.Options{Method: method, MaxLevel: sc.Case.MaxLevel}); err != nil {
 			t.Fatal(err)
 		}
-		return point{layout.N(), c.Solves}
+		return point{sc.Case.Layout.N(), c.Solves}
 	}
 	for _, method := range []core.Method{core.Wavelet, core.LowRank} {
-		small := run(16, 4, method)
-		big := run(32, 5, method)
+		small := run(tier[0], method)
+		big := run(tier[1], method)
 		// n quadrupled; solves must grow by far less (the per-level cost is
 		// n-independent, so the increment is roughly one level's worth).
 		growth := float64(big.solves) / float64(small.solves)
-		if growth > 2 {
-			t.Fatalf("%v: solves grew %.2fx while n grew 4x (%d→%d solves for %d→%d contacts)",
-				method, growth, small.solves, big.solves, small.n, big.n)
+		if growth > th.maxSolveGrowth {
+			t.Fatalf("%v: solves grew %.2fx while n grew 4x, want < %.1fx (%d→%d solves for %d→%d contacts)",
+				method, growth, th.maxSolveGrowth, small.solves, big.solves, small.n, big.n)
 		}
 		redSmall := float64(small.n) / float64(small.solves)
 		redBig := float64(big.n) / float64(big.solves)
@@ -50,24 +83,87 @@ func TestSolveCountScaling(t *testing.T) {
 // TestNNZScaling checks that Gw nonzeros grow like O(n log n), not n²: the
 // sparsity factor n²/nnz must improve as n grows (§3.6).
 func TestNNZScaling(t *testing.T) {
-	if testing.Short() {
-		t.Skip("scaling test is slow")
-	}
-	run := func(nx, lev int, method core.Method) float64 {
-		layout := geom.RegularGrid(float64(nx*4), float64(nx*4), nx, nx, 2)
-		g := SyntheticG(layout)
-		res, err := core.Extract(solver.NewDense(g), layout, core.Options{Method: method, MaxLevel: lev})
+	tier, th := scalingTier(t, "regular")
+	run := func(sc ScalingCase, method core.Method) float64 {
+		g := SyntheticG(sc.Case.Layout)
+		res, err := core.Extract(solver.NewDense(g), sc.Case.Layout, core.Options{Method: method, MaxLevel: sc.Case.MaxLevel})
 		if err != nil {
 			t.Fatal(err)
 		}
 		return res.Gw.Sparsity()
 	}
 	for _, method := range []core.Method{core.Wavelet, core.LowRank} {
-		small := run(16, 4, method)
-		big := run(32, 5, method)
-		if big <= 1.5*small {
-			t.Fatalf("%v: sparsity factor not improving n-linearly: %.2f → %.2f", method, small, big)
+		small := run(tier[0], method)
+		big := run(tier[1], method)
+		if big <= th.minSparsityGain*small {
+			t.Fatalf("%v: sparsity factor not improving with n: %.2f → %.2f (want > %.1fx)",
+				method, small, big, th.minSparsityGain)
 		}
-		t.Logf("%v: sparsity factor %.1f at n=256, %.1f at n=1024", method, small, big)
+		t.Logf("%v: sparsity factor %.1f at n=%d, %.1f at n=%d",
+			method, small, tier[0].Case.Layout.N(), big, tier[1].Case.Layout.N())
+	}
+}
+
+// TestScalingLadderShape pins the ladder's structure: rung identities are
+// the keys the committed BENCH_scaling.json diffs on, so family names,
+// sizes, and levels must not drift silently.
+func TestScalingLadderShape(t *testing.T) {
+	full := ScalingLadder(10240)
+	wantN := map[string][]int{
+		"regular":     {64, 256, 1024, 4096},
+		"alternating": {64, 256, 1024, 4096},
+		"large-mixed": {10240},
+	}
+	got := map[string][]int{}
+	for _, sc := range full {
+		if sc.Case.Layout.N() == 0 {
+			t.Fatalf("%s: empty layout", sc.Case.Name)
+		}
+		if sc.Case.MaxLevel < 2 {
+			t.Fatalf("%s: MaxLevel %d < 2", sc.Case.Name, sc.Case.MaxLevel)
+		}
+		got[sc.Family] = append(got[sc.Family], sc.Case.Layout.N())
+	}
+	for fam, want := range wantN {
+		if len(got[fam]) != len(want) {
+			t.Fatalf("family %s: sizes %v, want %v", fam, got[fam], want)
+		}
+		for i, n := range want {
+			if got[fam][i] != n {
+				t.Fatalf("family %s: sizes %v, want %v", fam, got[fam], want)
+			}
+		}
+	}
+	if short := ScalingLadder(256); len(short) != 4 {
+		t.Fatalf("short ladder (max 256) has %d rungs, want 4 (2 families x 2 sizes)", len(short))
+	}
+}
+
+// TestFitPowerLaw pins the exponent fitter on exact power laws and on the
+// degenerate inputs the diff gate must not trip over.
+func TestFitPowerLaw(t *testing.T) {
+	ns := []int{256, 1024, 4096}
+	quad := FitPowerLaw(ns, []float64{1, 16, 256}) // y = (n/256)²
+	if quad.Points != 3 || quad.Exponent < 1.99 || quad.Exponent > 2.01 || quad.R2 < 0.999 {
+		t.Fatalf("quadratic fit: %+v", quad)
+	}
+	flat := FitPowerLaw(ns, []float64{7, 7, 7})
+	if flat.Exponent != 0 || flat.R2 < 0.999 {
+		t.Fatalf("flat fit: %+v", flat)
+	}
+	// O(log n): solves = 100·log2(n) → exponent well below 1, per-doubling
+	// recovered.
+	logn := FitPowerLaw(ns, []float64{800, 1000, 1200})
+	if logn.Exponent <= 0 || logn.Exponent >= 0.5 {
+		t.Fatalf("log-growth fit exponent %.3f not in (0, 0.5)", logn.Exponent)
+	}
+	if logn.PerDoubling < 99 || logn.PerDoubling > 101 {
+		t.Fatalf("log-growth per-doubling %.3f, want ~100", logn.PerDoubling)
+	}
+	if f := FitPowerLaw([]int{256}, []float64{1}); f.Points != 1 || f.Exponent != 0 {
+		t.Fatalf("single-point fit: %+v", f)
+	}
+	if f := FitPowerLaw(nil, nil); f.Points != 0 {
+		t.Fatalf("empty fit: %+v", f)
 	}
 }

@@ -290,6 +290,27 @@ func LargeMixed(a float64, n int, nTarget int) *Layout {
 	return l
 }
 
+// Paper4096 builds the thesis Example 4 layout behind a stable name: the
+// 64x64 alternating-size grid with 4096 contacts on a 256x256 surface
+// (quadtree depth 6). It is the smaller of the paper's two headline
+// large-scale cases and the one the nightly scaling suite runs end to end.
+func Paper4096() *Layout {
+	l := AlternatingGrid(256, 256, 64, 64, 1, 3)
+	l.Name = "paper-4096"
+	return l
+}
+
+// Paper10240 builds the thesis Example 5 layout behind a stable name: the
+// Fig 4-10 style large mixed layout with 10240 contacts — alternating large
+// and small contacts with carved-out macro-block holes — on a 256x256
+// surface (quadtree depth 7). The generator is fully deterministic (fixed
+// seed), so two calls return identical layouts.
+func Paper10240() *Layout {
+	l := LargeMixed(256, 128, 10240)
+	l.Name = "paper-10240"
+	return l
+}
+
 // TwoPlusFour builds the Fig 4-1 intuition layout: one small and one large
 // contact in a source square, and four identical contacts in a faraway
 // destination square. Returns the layout plus the index sets of the source

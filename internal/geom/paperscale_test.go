@@ -1,0 +1,75 @@
+package geom
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPaperScaleLayoutsPinned pins the paper's two headline large layouts —
+// Example 4 (4096 contacts) and Example 5 (10240 contacts) — behind their
+// stable generator names: contact counts, total areas, validity, and the
+// contact count after a finest-level split must never drift, because the
+// committed BENCH_scaling.json and the nightly scaling gate both key off
+// these cases.
+func TestPaperScaleLayoutsPinned(t *testing.T) {
+	cases := []struct {
+		layout     *Layout
+		name       string
+		n          int
+		area       float64
+		cell       float64
+		splitN     int
+		splitLevel int // quadtree depth the cell corresponds to (A / 2^level)
+	}{
+		// 64x64 alternating grid: half the rows are 3x3 (area 9), half 1x1,
+		// so the total area is 64*32*(9+1) = 20480. Splitting at the depth-7
+		// cell (side 2) cuts each 3x3 contact into four pieces: 2048*1 +
+		// 2048*4 = 10240.
+		{Paper4096(), "paper-4096", 4096, 20480, 2, 10240, 7},
+		// Large mixed layout: alternating 1x1 and 2x2 contacts with
+		// macro-block holes, truncated at exactly 10240 contacts. Every
+		// contact already fits a side-2 cell, so the split is the identity.
+		{Paper10240(), "paper-10240", 10240, 25525, 2, 10240, 7},
+	}
+	for _, c := range cases {
+		if c.layout.Name != c.name {
+			t.Errorf("%s: layout name %q", c.name, c.layout.Name)
+		}
+		if got := c.layout.N(); got != c.n {
+			t.Errorf("%s: %d contacts, want %d", c.name, got, c.n)
+		}
+		if got := c.layout.TotalContactArea(); got != c.area {
+			t.Errorf("%s: total contact area %v, want %v", c.name, got, c.area)
+		}
+		if err := c.layout.Validate(); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+		if c.layout.A != 256 || c.layout.B != 256 {
+			t.Errorf("%s: surface %gx%g, want 256x256", c.name, c.layout.A, c.layout.B)
+		}
+		split := c.layout.SplitToGrid(c.cell)
+		if got := split.N(); got != c.splitN {
+			t.Errorf("%s: split(%g) has %d contacts, want %d", c.name, c.cell, got, c.splitN)
+		}
+		if got, want := split.TotalContactArea(), c.area; got != want {
+			t.Errorf("%s: split changed total area %v -> %v", c.name, want, got)
+		}
+	}
+}
+
+// TestPaperScaleLayoutsDeterministic checks that the generators are pure:
+// two calls (and two splits) produce byte-identical layouts, including for
+// Paper10240 whose hole carving draws from a seeded RNG.
+func TestPaperScaleLayoutsDeterministic(t *testing.T) {
+	gens := []func() *Layout{Paper4096, Paper10240}
+	for _, gen := range gens {
+		a, b := gen(), gen()
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: two generator calls differ", a.Name)
+		}
+		sa, sb := a.SplitToGrid(2), b.SplitToGrid(2)
+		if !reflect.DeepEqual(sa, sb) {
+			t.Errorf("%s: two splits differ", a.Name)
+		}
+	}
+}

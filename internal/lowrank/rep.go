@@ -53,6 +53,16 @@ type Options struct {
 	// separation) and is passed down with batched black-box solves;
 	// <= 0 selects runtime.NumCPU(). Results are identical for any value.
 	Workers int
+	// MaxBatchBytes, when > 0, caps the memory held by in-flight right-hand
+	// sides and their responses during the respond phases: solve groups are
+	// issued to the black box in chunks of at most MaxBatchBytes (counting
+	// 16·n bytes per group — one n-vector out, one back) and each chunk is
+	// separated into per-square responses before the next chunk's vectors
+	// are built. 0 means unbounded (every group of a phase in one batch).
+	// Chunking never changes output: the same vectors are solved in the
+	// same order, so results are bitwise identical for any budget — only
+	// peak memory and the batch sizes the solver sees move.
+	MaxBatchBytes int64
 	// Rec, when non-nil, receives per-phase wall times and solve counters
 	// for the build and the fine-to-coarse transform. Recording never
 	// changes the representation.
@@ -352,12 +362,34 @@ func sigmaHead(sigma []float64) []float64 {
 	return append([]float64{}, sigma...)
 }
 
+// groupChunk returns how many solve groups the respond phases keep in
+// flight at once under the Options.MaxBatchBytes budget: each group costs
+// one n-length right-hand side plus one n-length response (16·n bytes).
+// A budget of 0 (or one too small for a single group) degenerates to the
+// unbounded/single-group behavior, never to zero.
+func (r *Rep) groupChunk(n, groups int) int {
+	if r.Opt.MaxBatchBytes <= 0 || groups == 0 {
+		return max(groups, 1)
+	}
+	c := int(r.Opt.MaxBatchBytes / int64(16*n)) // 16n bytes per group
+	if c < 1 {
+		c = 1
+	}
+	if c > groups {
+		c = groups
+	}
+	return c
+}
+
 // respond fills out = (G_{Ps,s}·vec)^(r) for every pending vector at the
 // given level, using direct solves on level 2 (or when combine-solves is
-// off) and the splitting method + combine-solves on finer levels. All
-// black-box calls go through one SolveBatch, and the per-vector response
-// separation runs on the worker pool; outputs land in per-pending slots so
-// the result is identical for any worker count.
+// off) and the splitting method + combine-solves on finer levels. Black-box
+// calls go through SolveBatch — one batch per phase by default, or chunks
+// bounded by Options.MaxBatchBytes, with each chunk separated before the
+// next is built so peak right-hand-side memory stays capped. The per-vector
+// response separation runs on the worker pool; outputs land in per-pending
+// slots so the result is bitwise identical for any worker count and any
+// byte budget.
 func (r *Rep) respond(s solver.Solver, lev int, batch []*pending) error {
 	defer r.Opt.Rec.Phase("lowrank/respond")()
 	rsp := r.Opt.Trace.Begin("lowrank/respond").Arg("level", lev).Arg("vectors", len(batch))
@@ -366,20 +398,24 @@ func (r *Rep) respond(s solver.Solver, lev int, batch []*pending) error {
 	if lev == 2 || !r.Opt.CombineSolves {
 		r.Opt.Rec.Add("lowrank/solves_respond", int64(len(batch)))
 		rsp.Arg("solves", len(batch))
-		thetas := make([][]float64, len(batch))
-		for i, p := range batch {
-			theta := make([]float64, n)
-			for j, c := range p.sd.sq.Contacts {
-				theta[c] = p.vec[j]
+		chunk := r.groupChunk(n, len(batch))
+		for base := 0; base < len(batch); base += chunk {
+			end := min(base+chunk, len(batch))
+			thetas := make([][]float64, end-base)
+			for i, p := range batch[base:end] {
+				theta := make([]float64, n)
+				for j, c := range p.sd.sq.Contacts {
+					theta[c] = p.vec[j]
+				}
+				thetas[i] = theta
 			}
-			thetas[i] = theta
-		}
-		ys, err := solver.SolveBatch(s, thetas)
-		if err != nil {
-			return err
-		}
-		for i, p := range batch {
-			p.out = restrict(ys[i], p.sd.pContacts)
+			ys, err := solver.SolveBatch(s, thetas)
+			if err != nil {
+				return err
+			}
+			for i, p := range batch[base:end] {
+				p.out = restrict(ys[i], p.sd.pContacts)
+			}
 		}
 		return nil
 	}
@@ -424,79 +460,89 @@ func (r *Rep) respond(s solver.Solver, lev int, batch []*pending) error {
 		o    []float64 // v − V_p·coef, over parent contacts
 		y    []float64 // the group's combined response
 	}
-	// Pass 1: split each vector against its parent basis and accumulate the
-	// o-vectors of a group into its theta (disjoint supports within a group).
-	thetas := make([][]float64, 0, len(keys))
-	var splits []*split
-	groupOf := make([]int, 0) // split index → theta index
-	for gi, k := range keys {
-		theta := make([]float64, n)
-		for _, p := range groups[k] {
-			parSq := r.Tree.Parent(p.sd.sq)
-			psd := r.at(lev-1, parSq.ID)
-			// Zero-pad into the parent's contact ordering.
-			v := make([]float64, len(parSq.Contacts))
-			prows := make(map[int]int, len(parSq.Contacts))
-			for i, c := range parSq.Contacts {
-				prows[c] = i
+	r.Opt.Rec.Add("lowrank/solves_respond", int64(len(keys)))
+	rsp.Arg("solves", len(keys))
+	// Groups are processed in chunks of at most groupChunk under the byte
+	// budget (one chunk when unbounded): pass 1 builds the chunk's thetas,
+	// one SolveBatch answers them, and pass 2 separates the chunk before the
+	// next chunk's vectors exist. Chunking is invisible in the output — the
+	// same thetas are solved in the same (sorted-key) order.
+	chunk := r.groupChunk(n, len(keys))
+	for base := 0; base < len(keys); base += chunk {
+		end := min(base+chunk, len(keys))
+		// Pass 1: split each vector against its parent basis and accumulate
+		// the o-vectors of a group into its theta (disjoint supports within
+		// a group).
+		thetas := make([][]float64, 0, end-base)
+		var splits []*split
+		groupOf := make([]int, 0) // split index → theta index
+		for gi, k := range keys[base:end] {
+			theta := make([]float64, n)
+			for _, p := range groups[k] {
+				parSq := r.Tree.Parent(p.sd.sq)
+				psd := r.at(lev-1, parSq.ID)
+				// Zero-pad into the parent's contact ordering.
+				v := make([]float64, len(parSq.Contacts))
+				prows := make(map[int]int, len(parSq.Contacts))
+				for i, c := range parSq.Contacts {
+					prows[c] = i
+				}
+				for i, c := range p.sd.sq.Contacts {
+					v[prows[c]] = p.vec[i]
+				}
+				coef := psd.V.MulVecT(v)
+				o := v
+				back := psd.V.MulVec(coef)
+				la.Axpy(-1, back, o)
+				for i, c := range parSq.Contacts {
+					theta[c] += o[i]
+				}
+				splits = append(splits, &split{p: p, par: psd, coef: coef, o: o})
+				groupOf = append(groupOf, gi)
 			}
-			for i, c := range p.sd.sq.Contacts {
-				v[prows[c]] = p.vec[i]
-			}
-			coef := psd.V.MulVecT(v)
-			o := v
-			back := psd.V.MulVec(coef)
-			la.Axpy(-1, back, o)
-			for i, c := range parSq.Contacts {
-				theta[c] += o[i]
-			}
-			splits = append(splits, &split{p: p, par: psd, coef: coef, o: o})
-			groupOf = append(groupOf, gi)
+			thetas = append(thetas, theta)
 		}
-		thetas = append(thetas, theta)
-	}
-	r.Opt.Rec.Add("lowrank/solves_respond", int64(len(thetas)))
-	rsp.Arg("solves", len(thetas))
-	ys, err := solver.SolveBatch(s, thetas)
-	if err != nil {
-		return err
-	}
-	for i, sp := range splits {
-		sp.y = ys[groupOf[i]]
-	}
-	// Pass 2: separate each response. Each split touches only its own
-	// pending's out slot, so this fans out cleanly.
-	par.Do(r.Opt.Workers, len(splits), func(i int) {
-		sp := splits[i]
-		p := sp.p
-		out := make([]float64, len(p.sd.pContacts))
-		// Coarse part: R_p·coef restricted to P_s (= contacts of L_p).
-		coarse := sp.par.R.MulVec(sp.coef)
-		for i, c := range p.sd.pContacts {
-			out[i] = coarse[sp.par.pIndex[c]]
+		ys, err := solver.SolveBatch(s, thetas)
+		if err != nil {
+			return err
 		}
-		// Fine part: refined G_{q,p}·o for every parent-level local q.
-		for _, qsq := range r.Tree.Local(sp.par.sq) {
-			q := r.at(lev-1, qsq.ID)
-			if q == nil {
-				continue
-			}
-			raw := restrict(sp.y, qsq.Contacts)
-			t := raw
-			if r.Opt.Refine {
-				// (4.24): V_q((G_pq V_q)ᵀo) + raw − V_q(V_qᵀ raw).
-				alpha := q.rowsFor(sp.par.sq.Contacts).MulVecT(sp.o)
-				beta := q.V.MulVecT(raw)
-				la.Axpy(-1, beta, alpha)
-				corr := q.V.MulVec(alpha)
-				la.Axpy(1, corr, t)
-			}
-			for i, c := range qsq.Contacts {
-				out[p.sd.pIndex[c]] += t[i]
-			}
+		for i, sp := range splits {
+			sp.y = ys[groupOf[i]]
 		}
-		p.out = out
-	})
+		// Pass 2: separate each response. Each split touches only its own
+		// pending's out slot, so this fans out cleanly.
+		par.Do(r.Opt.Workers, len(splits), func(i int) {
+			sp := splits[i]
+			p := sp.p
+			out := make([]float64, len(p.sd.pContacts))
+			// Coarse part: R_p·coef restricted to P_s (= contacts of L_p).
+			coarse := sp.par.R.MulVec(sp.coef)
+			for i, c := range p.sd.pContacts {
+				out[i] = coarse[sp.par.pIndex[c]]
+			}
+			// Fine part: refined G_{q,p}·o for every parent-level local q.
+			for _, qsq := range r.Tree.Local(sp.par.sq) {
+				q := r.at(lev-1, qsq.ID)
+				if q == nil {
+					continue
+				}
+				raw := restrict(sp.y, qsq.Contacts)
+				t := raw
+				if r.Opt.Refine {
+					// (4.24): V_q((G_pq V_q)ᵀo) + raw − V_q(V_qᵀ raw).
+					alpha := q.rowsFor(sp.par.sq.Contacts).MulVecT(sp.o)
+					beta := q.V.MulVecT(raw)
+					la.Axpy(-1, beta, alpha)
+					corr := q.V.MulVec(alpha)
+					la.Axpy(1, corr, t)
+				}
+				for i, c := range qsq.Contacts {
+					out[p.sd.pIndex[c]] += t[i]
+				}
+			}
+			p.out = out
+		})
+	}
 	return nil
 }
 
@@ -567,51 +613,59 @@ func (r *Rep) buildFinestLocal(s solver.Solver) error {
 		}
 		return a.m < b.m
 	})
-	thetas := make([][]float64, len(keys))
-	for gi, k := range keys {
-		theta := make([]float64, n)
-		for _, it := range groups[k] {
-			for i, c := range it.sd.sq.Contacts {
-				theta[c] += it.sd.W.At(i, it.m)
+	r.Opt.Rec.Add("lowrank/solves_w", int64(len(keys)))
+	// Like respond, the W-column solves run in byte-budgeted chunks (one
+	// chunk when unbounded), each separated before the next is built.
+	chunk := r.groupChunk(n, len(keys))
+	for base := 0; base < len(keys); base += chunk {
+		end := min(base+chunk, len(keys))
+		thetas := make([][]float64, end-base)
+		var chunkItems []*witem
+		for gi, k := range keys[base:end] {
+			theta := make([]float64, n)
+			for _, it := range groups[k] {
+				for i, c := range it.sd.sq.Contacts {
+					theta[c] += it.sd.W.At(i, it.m)
+				}
+			}
+			thetas[gi] = theta
+		}
+		ys, err := solver.SolveBatch(s, thetas)
+		if err != nil {
+			return err
+		}
+		for gi, k := range keys[base:end] {
+			for _, it := range groups[k] {
+				it.out = ys[gi]
+				chunkItems = append(chunkItems, it)
 			}
 		}
-		thetas[gi] = theta
-	}
-	r.Opt.Rec.Add("lowrank/solves_w", int64(len(thetas)))
-	ys, err := solver.SolveBatch(s, thetas)
-	if err != nil {
-		return err
-	}
-	for gi, k := range keys {
-		for _, it := range groups[k] {
-			it.out = ys[gi]
-		}
-	}
-	// Separate each W response; every item owns its GLW column, so the
-	// separation fans out.
-	par.Do(r.Opt.Workers, len(items), func(idx int) {
-		it := items[idx]
-		sd := it.sd
-		y := it.out
-		out := make([]float64, len(sd.lContacts))
-		w := sd.W.Col(it.m)
-		pos := 0
-		for _, qsq := range r.Tree.Local(sd.sq) {
-			raw := restrict(y, qsq.Contacts)
-			t := raw
-			q := r.at(L, qsq.ID)
-			if r.Opt.Refine && q != nil {
-				alpha := q.rowsFor(sd.sq.Contacts).MulVecT(w)
-				beta := q.V.MulVecT(raw)
-				la.Axpy(-1, beta, alpha)
-				corr := q.V.MulVec(alpha)
-				la.Axpy(1, corr, t)
+		// Separate each W response; every item owns its GLW column, so the
+		// separation fans out.
+		par.Do(r.Opt.Workers, len(chunkItems), func(idx int) {
+			it := chunkItems[idx]
+			sd := it.sd
+			y := it.out
+			out := make([]float64, len(sd.lContacts))
+			w := sd.W.Col(it.m)
+			pos := 0
+			for _, qsq := range r.Tree.Local(sd.sq) {
+				raw := restrict(y, qsq.Contacts)
+				t := raw
+				q := r.at(L, qsq.ID)
+				if r.Opt.Refine && q != nil {
+					alpha := q.rowsFor(sd.sq.Contacts).MulVecT(w)
+					beta := q.V.MulVecT(raw)
+					la.Axpy(-1, beta, alpha)
+					corr := q.V.MulVec(alpha)
+					la.Axpy(1, corr, t)
+				}
+				copy(out[pos:pos+len(qsq.Contacts)], t)
+				pos += len(qsq.Contacts)
 			}
-			copy(out[pos:pos+len(qsq.Contacts)], t)
-			pos += len(qsq.Contacts)
-		}
-		sd.GLW.SetCol(it.m, out)
-	})
+			sd.GLW.SetCol(it.m, out)
+		})
+	}
 	// Local blocks (4.26): (G_Ls,s)^(f) = (G V_s)^(r)·V_sᵀ + (G W_s)^(c)·W_sᵀ.
 	bsp := r.Opt.Trace.Begin("lowrank/local_block").Arg("level", L).Arg("squares", len(finest))
 	par.Do(r.Opt.Workers, len(finest), func(i int) {
