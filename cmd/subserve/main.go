@@ -36,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"subcouple/internal/model"
 	"subcouple/internal/obs"
 	"subcouple/internal/serve"
 )
@@ -75,9 +76,15 @@ func run(args []string, out io.Writer) error {
 		timeout  = fs.Duration("timeout", 10*time.Second, "per-request admission/pool-wait timeout (0 = none)")
 		drainFor = fs.Duration("drain", 30*time.Second, "graceful-shutdown bound for draining in-flight requests")
 		report   = fs.String("report", "", "write a JSON run report (request counters, latency/batch histograms) here on shutdown")
+		modeName = fs.String("mode", "exact", "serving kernels: exact (bitwise float64), dense (precomputed dense G), or float32/f32 (reduced precision; /fingerprint is refused outside exact)")
+		denseBud = fs.Int("densebudget", 0, "with -mode dense: materialization cap in total float64 entries (0 = the built-in default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	mode, err := model.ParseMode(*modeName)
+	if err != nil {
+		return fmt.Errorf("subserve: %w", err)
 	}
 	modelPaths = append(modelPaths, fs.Args()...)
 	if len(modelPaths) == 0 {
@@ -87,12 +94,14 @@ func run(args []string, out io.Writer) error {
 	rec := obs.NewRecorder()
 	publishExpvars(rec)
 	srv := serve.New(serve.Options{
-		PoolSize: *poolSize,
-		Window:   *window,
-		MaxBatch: *maxBatch,
-		Workers:  *workers,
-		Timeout:  *timeout,
-		Recorder: rec,
+		PoolSize:    *poolSize,
+		Window:      *window,
+		MaxBatch:    *maxBatch,
+		Workers:     *workers,
+		Timeout:     *timeout,
+		Recorder:    rec,
+		Mode:        mode,
+		DenseBudget: *denseBud,
 	})
 	for _, path := range modelPaths {
 		name, err := srv.LoadFile(path)
@@ -120,8 +129,8 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("subserve: %w", err)
 	}
-	log.Printf("serving %d model(s) on http://%s (pool %d, window %v, maxbatch %d)",
-		len(modelPaths), ln.Addr(), serveEnginesPerModel(*poolSize), *window, *maxBatch)
+	log.Printf("serving %d model(s) on http://%s (pool %d, window %v, maxbatch %d, mode %s)",
+		len(modelPaths), ln.Addr(), serveEnginesPerModel(*poolSize), *window, *maxBatch, mode)
 	if onListen != nil {
 		onListen(ln.Addr())
 	}

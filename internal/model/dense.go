@@ -1,0 +1,106 @@
+package model
+
+import "fmt"
+
+// ModeDense: for small contact counts the sparsified operator's whole point —
+// O(n)–O(n log n) applies — is outweighed by constant factors, and simply
+// materializing G (n² float64s) and serving dense GEMV/GEMM is both faster
+// and branch-free. The representation is built once at engine construction
+// by running the exact ColumnInto over every column, so the stored entries
+// are bit-for-bit the exact operator's columns; dense applies then differ
+// from ModeExact only by their documented summation order (one j-ascending
+// dot product per output row, a single pass over the row).
+
+// denseRep holds the materialized operators, row-major.
+type denseRep struct {
+	n     int
+	g, gt []float64 // gt nil when the model carries no Gwt
+}
+
+// newDenseRep materializes m's operator(s), refusing when the total entry
+// count exceeds the budget — dense mode is an explicit small-n trade and
+// must never silently commit an operator to O(n²) memory.
+func newDenseRep(m *Model, budget int) (*denseRep, error) {
+	if budget <= 0 {
+		budget = DefaultDenseBudget
+	}
+	n := m.N
+	need := n * n
+	ops := "G"
+	if m.Gwt != nil {
+		need *= 2
+		ops = "G and Gt"
+	}
+	if need > budget {
+		return nil, fmt.Errorf("model: dense mode would materialize %d entries (%s at n=%d), over the budget of %d; raise the dense budget or serve exact", need, ops, n, budget)
+	}
+	eng := NewEngine(m)
+	d := &denseRep{n: n, g: make([]float64, n*n)}
+	col := make([]float64, n)
+	for j := 0; j < n; j++ {
+		eng.ColumnInto(col, j)
+		for i := 0; i < n; i++ {
+			d.g[i*n+j] = col[i]
+		}
+	}
+	if m.Gwt != nil {
+		d.gt = make([]float64, n*n)
+		for j := 0; j < n; j++ {
+			eng.ColumnThresholdedInto(col, j)
+			for i := 0; i < n; i++ {
+				d.gt[i*n+j] = col[i]
+			}
+		}
+	}
+	return d, nil
+}
+
+func (d *denseRep) op(thresholded bool) []float64 {
+	if thresholded {
+		return d.gt
+	}
+	return d.g
+}
+
+// apply computes dst = G·x as one j-ascending dot product per row.
+func (d *denseRep) apply(dst, x []float64, thresholded bool) {
+	g := d.op(thresholded)
+	n := d.n
+	for i := 0; i < n; i++ {
+		row := g[i*n : (i+1)*n]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// applyPanel is apply over a column-major panel: each row of G is loaded
+// once and dotted against all k panel columns, in the same j-ascending
+// order, so every panel column is bitwise identical to a single dense apply.
+func (d *denseRep) applyPanel(dst, x []float64, thresholded bool, k int) {
+	g := d.op(thresholded)
+	n := d.n
+	for i := 0; i < n; i++ {
+		row := g[i*n : (i+1)*n]
+		for cc := 0; cc < k; cc++ {
+			xc := x[cc*n : (cc+1)*n]
+			var s float64
+			for j, v := range row {
+				s += v * xc[j]
+			}
+			dst[cc*n+i] = s
+		}
+	}
+}
+
+// column copies stored column j out of the materialized operator; the result
+// is bitwise identical to exact-mode ColumnInto, because that is how the
+// entries were produced.
+func (d *denseRep) column(dst []float64, j int, thresholded bool) {
+	g := d.op(thresholded)
+	for i := 0; i < d.n; i++ {
+		dst[i] = g[i*d.n+j]
+	}
+}

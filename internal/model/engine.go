@@ -9,42 +9,131 @@ import (
 	"subcouple/internal/sparse"
 )
 
+// Mode selects the Engine's serving-kernel family.
+type Mode uint8
+
+const (
+	// ModeExact runs the float64 sparse/factored kernels: every output is
+	// bitwise identical to the extraction-time reference, per column, for
+	// any batch shape and worker count. This is the only mode Fingerprint
+	// accepts.
+	ModeExact Mode = iota
+	// ModeDense materializes G (and Gt when the model carries a thresholded
+	// Gwt) once at engine build — O(n²) memory — and serves applies as a
+	// single-pass dense row-major GEMV/GEMM. Columns are bitwise identical
+	// to ModeExact (they are copied out of the materialized operator);
+	// applies differ from ModeExact only by the documented dense summation
+	// order (one j-ascending dot per row).
+	ModeDense
+	// ModeFloat32 serves from converted float32 copies of the Gw/Gwt/Q
+	// values with float32 arithmetic throughout: roughly half the memory
+	// traffic for ~1e-6 relative error (measured per model by cmd/benchreport's
+	// ApplyF32 row). Rejected by exactness paths (Fingerprint).
+	ModeFloat32
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeExact:
+		return "exact"
+	case ModeDense:
+		return "dense"
+	case ModeFloat32:
+		return "float32"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// ParseMode maps the CLI spelling of a serving mode to its Mode.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "exact":
+		return ModeExact, nil
+	case "dense":
+		return ModeDense, nil
+	case "float32", "f32":
+		return ModeFloat32, nil
+	}
+	return 0, fmt.Errorf("model: unknown serving mode %q (want exact, dense or float32)", s)
+}
+
+// DefaultDenseBudget is the dense-mode materialization cap when
+// EngineOptions.DenseBudget is zero: total float64 entries across the
+// materialized operators (32 Mi entries = 256 MiB), i.e. n ≤ 5792 for a
+// model without Gwt, n ≤ 4096 with one.
+const DefaultDenseBudget = 32 << 20
+
+// EngineOptions selects the serving kernels of NewEngineOpts.
+type EngineOptions struct {
+	// Mode picks the kernel family (see the Mode constants). The zero value
+	// is ModeExact.
+	Mode Mode
+	// DenseBudget caps ModeDense materialization: the total number of dense
+	// float64 entries the engine may hold (n² for G, plus n² for Gt when the
+	// model is thresholded). 0 selects DefaultDenseBudget. NewEngineOpts
+	// fails when the model exceeds the budget instead of silently falling
+	// back, so an operator never pays O(n²) memory it did not sign up for.
+	DenseBudget int
+}
+
 // Engine applies a Model with reusable scratch buffers: after construction
-// the hot paths (ApplyInto, ColumnInto, steady-state ApplyBatchInto) perform
-// no allocations. An Engine is not safe for concurrent use — ApplyBatch
-// parallelizes internally over per-worker scratch, and independent
-// goroutines should each hold their own Engine (or check engines out of an
-// internal/serve pool). The restriction is enforced: every public apply
-// holds a cheap atomic in-use guard, so two goroutines sharing one Engine
-// panic deterministically instead of silently corrupting scratch.
+// the hot paths (ApplyInto, ColumnInto, steady-state ApplyBatchInto and the
+// panel paths at workers=1) perform no allocations. An Engine is not safe
+// for concurrent use — batched applies parallelize internally over
+// per-worker scratch, and independent goroutines should each hold their own
+// Engine (or check engines out of an internal/serve pool). The restriction
+// is enforced: every public apply holds a cheap atomic in-use guard, so two
+// goroutines sharing one Engine panic deterministically instead of silently
+// corrupting scratch.
 //
-// Every apply is bitwise-deterministic: the per-column arithmetic never
-// depends on buffer history (outputs are fully overwritten) or on the worker
-// count (each batch column is computed independently into its own slot), so
+// In ModeExact every apply is bitwise-deterministic: the per-column
+// arithmetic never depends on buffer history (outputs are fully
+// overwritten), on the batch shape (panel kernels run the single-RHS
+// accumulation sequence per column), or on the worker count (panel chunks
+// and batch columns are computed independently into their own slots), so
 // Engine output on a decoded artifact is bitwise identical to the in-memory
 // extraction result's.
 type Engine struct {
 	m    *Model
+	mode Mode
 	rec  *obs.Recorder
 	tr   *obs.Tracer
 	sc   *scratch
-	pool []*scratch // per-worker scratch for ApplyBatch, grown on demand
+	pool []*scratch // per-worker scratch for batched applies, grown on demand
 
-	// batch carries the per-call state of ApplyBatchInto and batchFn is the
-	// worker body capturing it, built once so the batch hot path does not
-	// allocate a fresh closure per call.
+	dense *denseRep // ModeDense: materialized operators
+	f32   *f32Rep   // ModeFloat32: converted value copies
+
+	// px/py are the pack panels ApplyBatchInto marshals [][]float64 batches
+	// through, grown on demand and reused.
+	px, py []float64
+
+	// batch/panel carry the per-call state of the batched applies, and
+	// batchFn/panelFn are the worker bodies capturing them, built once so
+	// the hot paths do not allocate a fresh closure per call.
 	batch   batchState
 	batchFn func(worker, i int)
+	panel   panelState
+	panelFn func(worker, ci int)
 
 	// busy is the concurrent-misuse guard: 0 when idle, 1 while a public
 	// apply owns the scratch buffers.
 	busy atomic.Int32
 }
 
-// batchState is the in-flight ApplyBatchInto call.
+// batchState is the in-flight ApplyBatchPerColumnInto call.
 type batchState struct {
-	dst, xs [][]float64
-	sp      *obs.Span
+	dst, xs     [][]float64
+	thresholded bool
+	sp          *obs.Span
+}
+
+// panelState is the in-flight panel apply.
+type panelState struct {
+	dst, x      []float64
+	k, chunk    int
+	thresholded bool
+	sp          *obs.Span
 }
 
 // scratch holds the working vectors of one apply stream.
@@ -52,9 +141,21 @@ type scratch struct {
 	u, w []float64 // coefficient-space vectors (Qᵀx and Gw·Qᵀx)
 	a, b []float64 // factored-chain ping-pong buffers (QFactored only)
 	unit []float64 // kept all-zero between ColumnInto calls
+
+	// Panel buffers (n×width column-major), grown on demand by ensurePanel.
+	pu, pw []float64
+	pa, pb []float64 // factored panel ping-pong (QFactored only)
+
+	f32 *scratch32 // ModeFloat32 mirrors, nil otherwise
 }
 
-func newScratch(m *Model) *scratch {
+// clearUnit re-zeroes one unit-vector slot; the column applies arm it and
+// reset via defer so a panic mid-apply (recovered by callers like serve's
+// flush backstop) can never leave the unit vector dirty — a leaked 1 would
+// silently corrupt every later column.
+func (sc *scratch) clearUnit(j int) { sc.unit[j] = 0 }
+
+func newScratch(m *Model, mode Mode) *scratch {
 	sc := &scratch{
 		u:    make([]float64, m.N),
 		w:    make([]float64, m.N),
@@ -64,19 +165,79 @@ func newScratch(m *Model) *scratch {
 		sc.a = make([]float64, m.N)
 		sc.b = make([]float64, m.N)
 	}
+	if mode == ModeFloat32 {
+		sc.f32 = newScratch32(m)
+	}
 	return sc
 }
 
-// NewEngine builds an apply engine over m. The model must be valid (Decode
-// guarantees it; extraction-built models are valid by construction).
+// ensurePanel grows the scratch's panel buffers to hold width columns.
+func (sc *scratch) ensurePanel(m *Model, mode Mode, width int) {
+	if mode == ModeDense {
+		return // dense panels write straight into the caller's panel
+	}
+	if mode == ModeFloat32 {
+		sc.f32.ensurePanel(m, width)
+		return
+	}
+	if len(sc.pu) >= m.N*width {
+		return
+	}
+	sc.pu = make([]float64, m.N*width)
+	sc.pw = make([]float64, m.N*width)
+	if m.Kind == QFactored {
+		sc.pa = make([]float64, m.N*width)
+		sc.pb = make([]float64, m.N*width)
+	}
+}
+
+// NewEngine builds an exact-mode apply engine over m. The model must be
+// valid (Decode guarantees it; extraction-built models are valid by
+// construction).
 func NewEngine(m *Model) *Engine {
-	e := &Engine{m: m, sc: newScratch(m)}
-	e.batchFn = func(worker, i int) {
-		csp := e.batch.sp.ChildOn(worker+1, "model/apply_col").Arg("col", i)
-		e.applyInto(e.pool[worker], e.batch.dst[i], e.m.Gw, e.batch.xs[i])
-		csp.End()
+	e, err := NewEngineOpts(m, EngineOptions{})
+	if err != nil {
+		panic(err) // ModeExact construction cannot fail on a valid model
 	}
 	return e
+}
+
+// NewEngineOpts builds an apply engine over m with the selected serving
+// mode. ModeDense fails when the materialized operators would exceed the
+// dense budget; ModeExact never fails.
+func NewEngineOpts(m *Model, opt EngineOptions) (*Engine, error) {
+	e := &Engine{m: m, mode: opt.Mode}
+	switch opt.Mode {
+	case ModeExact:
+	case ModeDense:
+		d, err := newDenseRep(m, opt.DenseBudget)
+		if err != nil {
+			return nil, err
+		}
+		e.dense = d
+	case ModeFloat32:
+		e.f32 = newF32Rep(m)
+	default:
+		return nil, fmt.Errorf("model: unknown engine mode %d", opt.Mode)
+	}
+	e.sc = newScratch(m, e.mode)
+	e.batchFn = func(worker, i int) {
+		csp := e.batch.sp.ChildOn(worker+1, "model/apply_col").Arg("col", i)
+		e.applyAny(e.pool[worker], e.batch.dst[i], e.batch.xs[i], e.batch.thresholded)
+		csp.End()
+	}
+	e.panelFn = func(worker, ci int) {
+		n := e.m.N
+		c0 := ci * e.panel.chunk
+		c1 := c0 + e.panel.chunk
+		if c1 > e.panel.k {
+			c1 = e.panel.k
+		}
+		csp := e.panel.sp.ChildOn(worker+1, "model/panel_chunk").Arg("c0", c0).Arg("cols", c1-c0)
+		e.applyPanelAny(e.pool[worker], e.panel.dst[c0*n:c1*n], e.panel.x[c0*n:c1*n], e.panel.thresholded, c1-c0)
+		csp.End()
+	}
+	return e, nil
 }
 
 // Model returns the engine's model.
@@ -84,6 +245,13 @@ func (e *Engine) Model() *Model { return e.m }
 
 // N returns the operator dimension.
 func (e *Engine) N() int { return e.m.N }
+
+// Mode returns the engine's serving mode.
+func (e *Engine) Mode() Mode { return e.mode }
+
+// Exact reports whether the engine serves the bitwise-exact float64 path
+// (the only mode exactness checks like Fingerprint accept).
+func (e *Engine) Exact() bool { return e.mode == ModeExact }
 
 // SetObs attaches an optional recorder (apply-phase timers and counters) and
 // tracer (per-batch spans). Nil values record nothing; observability never
@@ -119,6 +287,16 @@ func (e *Engine) checkVec(method, name string, v []float64) {
 	}
 }
 
+// checkAlias enforces the documented "dst may not alias x" contract with a
+// clear panic instead of the silent corruption aliasing used to cause (the
+// kernels overwrite dst while still reading x).
+func (e *Engine) checkAlias(method string, dst, x []float64) {
+	if len(dst) > 0 && len(x) > 0 && &dst[0] == &x[0] {
+		panic("model: " + method + ": dst aliases x (the apply overwrites dst while " +
+			"still reading x; pass distinct buffers)")
+	}
+}
+
 // checkCol is checkVec for one column of a batch.
 func (e *Engine) checkCol(method, name string, i int, v []float64) {
 	if v == nil {
@@ -136,31 +314,78 @@ func (e *Engine) checkIndex(method string, j int) {
 	}
 }
 
+// checkThresholded panics when the model has no Gwt.
+func (e *Engine) checkThresholded() {
+	if e.m.Gwt == nil {
+		panic("model: no thresholded representation")
+	}
+}
+
+// applyAny runs one single-RHS apply through the mode's kernel family.
+func (e *Engine) applyAny(sc *scratch, dst, x []float64, thresholded bool) {
+	switch e.mode {
+	case ModeDense:
+		e.dense.apply(dst, x, thresholded)
+	case ModeFloat32:
+		e.apply32(sc.f32, dst, x, thresholded)
+	default:
+		gw := e.m.Gw
+		if thresholded {
+			gw = e.m.Gwt
+		}
+		e.applyInto(sc, dst, gw, x)
+	}
+}
+
 // ApplyInto computes dst = Q·Gw·Qᵀ·x in place with no allocations. dst and x
-// must both have length N, and dst may not alias x.
+// must both have length N, and dst may not alias x (enforced).
 func (e *Engine) ApplyInto(dst, x []float64) {
 	e.checkVec("ApplyInto", "dst", dst)
 	e.checkVec("ApplyInto", "x", x)
+	e.checkAlias("ApplyInto", dst, x)
 	e.acquire("ApplyInto")
 	defer e.release()
 	defer e.rec.Phase("model/apply")()
 	e.rec.Add("model/applies", 1)
-	e.applyInto(e.sc, dst, e.m.Gw, x)
+	e.applyAny(e.sc, dst, x, false)
 }
 
 // ApplyThresholdedInto is ApplyInto with the thresholded Gwt (panics when
 // the model carries none).
 func (e *Engine) ApplyThresholdedInto(dst, x []float64) {
-	if e.m.Gwt == nil {
-		panic("model: no thresholded representation")
-	}
+	e.checkThresholded()
 	e.checkVec("ApplyThresholdedInto", "dst", dst)
 	e.checkVec("ApplyThresholdedInto", "x", x)
+	e.checkAlias("ApplyThresholdedInto", dst, x)
 	e.acquire("ApplyThresholdedInto")
 	defer e.release()
 	defer e.rec.Phase("model/apply")()
 	e.rec.Add("model/applies", 1)
-	e.applyInto(e.sc, dst, e.m.Gwt, x)
+	e.applyAny(e.sc, dst, x, true)
+}
+
+// columnInto serves one operator column through the mode's kernels. The
+// exact and float32 paths apply a unit vector whose armed slot is reset via
+// defer — see scratch.clearUnit.
+func (e *Engine) columnInto(dst []float64, j int, thresholded bool) {
+	switch e.mode {
+	case ModeDense:
+		e.dense.column(dst, j, thresholded)
+	case ModeFloat32:
+		sc32 := e.sc.f32
+		sc32.unit[j] = 1
+		defer sc32.clearUnit(j)
+		e.apply32From(sc32, dst, sc32.unit, thresholded)
+	default:
+		sc := e.sc
+		gw := e.m.Gw
+		if thresholded {
+			gw = e.m.Gwt
+		}
+		sc.unit[j] = 1
+		defer sc.clearUnit(j)
+		e.applyInto(sc, dst, gw, sc.unit)
+	}
 }
 
 // ColumnInto computes column j of Q·Gw·Qᵀ into dst with no allocations.
@@ -169,32 +394,34 @@ func (e *Engine) ColumnInto(dst []float64, j int) {
 	e.checkIndex("ColumnInto", j)
 	e.acquire("ColumnInto")
 	defer e.release()
-	e.sc.unit[j] = 1
-	e.applyInto(e.sc, dst, e.m.Gw, e.sc.unit)
-	e.sc.unit[j] = 0
+	defer e.rec.Phase("model/column")()
+	e.rec.Add("model/columns", 1)
+	e.columnInto(dst, j, false)
 }
 
 // ColumnThresholdedInto is ColumnInto with the thresholded Gwt.
 func (e *Engine) ColumnThresholdedInto(dst []float64, j int) {
-	if e.m.Gwt == nil {
-		panic("model: no thresholded representation")
-	}
+	e.checkThresholded()
 	e.checkVec("ColumnThresholdedInto", "dst", dst)
 	e.checkIndex("ColumnThresholdedInto", j)
 	e.acquire("ColumnThresholdedInto")
 	defer e.release()
-	e.sc.unit[j] = 1
-	e.applyInto(e.sc, dst, e.m.Gwt, e.sc.unit)
-	e.sc.unit[j] = 0
+	defer e.rec.Phase("model/column")()
+	e.rec.Add("model/columns", 1)
+	e.columnInto(dst, j, true)
 }
 
 // QColumnInto materializes native column j of Q itself (not the full
-// operator) into dst.
+// operator) into dst. Q columns always come from the stored float64 model,
+// regardless of serving mode: they describe the artifact, not the serving
+// kernels.
 func (e *Engine) QColumnInto(dst []float64, j int) {
 	e.checkVec("QColumnInto", "dst", dst)
 	e.checkIndex("QColumnInto", j)
 	e.acquire("QColumnInto")
 	defer e.release()
+	defer e.rec.Phase("model/column")()
+	e.rec.Add("model/columns", 1)
 	switch e.m.Kind {
 	case QColumns:
 		for i := range dst {
@@ -206,50 +433,9 @@ func (e *Engine) QColumnInto(dst []float64, j int) {
 		}
 	case QFactored:
 		e.sc.unit[j] = 1
+		defer e.sc.clearUnit(j)
 		e.forwardInto(e.sc, dst, e.sc.unit)
-		e.sc.unit[j] = 0
 	}
-}
-
-// ApplyBatch computes Q·Gw·Qᵀ·x for every x in xs, parallelized over columns
-// on the internal/par pool. Like extraction, the result is bitwise identical
-// for any worker count (workers <= 0 selects all CPUs, 1 runs serial).
-func (e *Engine) ApplyBatch(xs [][]float64, workers int) [][]float64 {
-	out := make([][]float64, len(xs))
-	for i := range out {
-		out[i] = make([]float64, e.m.N)
-	}
-	e.ApplyBatchInto(out, xs, workers)
-	return out
-}
-
-// ApplyBatchInto is ApplyBatch into caller-provided output slices; with
-// reused dst it performs no steady-state allocations. Every dst[i] and xs[i]
-// must be non-nil with length N, and dst[i] may not alias xs[j] for any
-// i, j. Columns are validated up front, before any fan-out, so a mis-sized
-// batch panics on the calling goroutine with the offending column named —
-// never from inside a pool worker.
-func (e *Engine) ApplyBatchInto(dst, xs [][]float64, workers int) {
-	if len(dst) != len(xs) {
-		panic(fmt.Sprintf("model: ApplyBatchInto: %d output columns for %d inputs", len(dst), len(xs)))
-	}
-	for i := range xs {
-		e.checkCol("ApplyBatchInto", "xs", i, xs[i])
-		e.checkCol("ApplyBatchInto", "dst", i, dst[i])
-	}
-	e.acquire("ApplyBatchInto")
-	defer e.release()
-	w := par.Workers(workers)
-	for len(e.pool) < w {
-		e.pool = append(e.pool, newScratch(e.m))
-	}
-	defer e.rec.Phase("model/apply_batch")()
-	e.rec.Add("model/batch_cols", int64(len(xs)))
-	sp := e.tr.Begin("model/apply_batch").Arg("cols", len(xs)).Arg("workers", w)
-	defer sp.End()
-	e.batch = batchState{dst: dst, xs: xs, sp: sp}
-	par.DoWorker(workers, len(xs), e.batchFn)
-	e.batch = batchState{}
 }
 
 // applyInto runs the three-stage operator u = Qᵀx, w = Gw·u, dst = Q·w on
@@ -342,4 +528,63 @@ func (e *Engine) backwardInto(sc *scratch, dst, x []float64) {
 		cur, nxt = nxt, cur
 	}
 	copy(dst, cur)
+}
+
+// growPool ensures at least w per-worker scratch streams exist.
+func (e *Engine) growPool(w int) {
+	for len(e.pool) < w {
+		e.pool = append(e.pool, newScratch(e.m, e.mode))
+	}
+}
+
+// ApplyBatchPerColumnInto is the bitwise-reference ablation of the batched
+// apply: it fans the batch out column by column over the worker pool,
+// re-streaming the matrices once per column exactly as ApplyInto does. The
+// panel path (ApplyBatchInto / ApplyPanelInto) replaces it on the hot path;
+// this entry point remains so benchmarks and tests can pin the panel
+// kernels against the per-column arithmetic.
+func (e *Engine) ApplyBatchPerColumnInto(dst, xs [][]float64, workers int) {
+	e.validateBatch("ApplyBatchPerColumnInto", dst, xs)
+	e.acquire("ApplyBatchPerColumnInto")
+	defer e.release()
+	if len(xs) == 0 {
+		return
+	}
+	w := par.Workers(workers)
+	e.growPool(w)
+	defer e.rec.Phase("model/apply_batch")()
+	e.rec.Add("model/batch_cols", int64(len(xs)))
+	sp := e.tr.Begin("model/apply_batch").Arg("cols", len(xs)).Arg("workers", w)
+	defer sp.End()
+	e.batch = batchState{dst: dst, xs: xs, sp: sp}
+	par.DoWorker(workers, len(xs), e.batchFn)
+	e.batch = batchState{}
+}
+
+// validateBatch runs the per-column and aliasing checks of a batched apply
+// up front, before any fan-out, so a mis-sized or aliased batch panics on
+// the calling goroutine with the offending column named — never from inside
+// a pool worker.
+func (e *Engine) validateBatch(method string, dst, xs [][]float64) {
+	if len(dst) != len(xs) {
+		panic(fmt.Sprintf("model: %s: %d output columns for %d inputs", method, len(dst), len(xs)))
+	}
+	for i := range xs {
+		e.checkCol(method, "xs", i, xs[i])
+		e.checkCol(method, "dst", i, dst[i])
+	}
+	for i := range dst {
+		for j := range xs {
+			if &dst[i][0] == &xs[j][0] {
+				panic(fmt.Sprintf("model: %s: dst[%d] aliases xs[%d] (outputs overwrite "+
+					"their buffers while inputs are still being read; pass distinct buffers)", method, i, j))
+			}
+		}
+		for j := i + 1; j < len(dst); j++ {
+			if &dst[i][0] == &dst[j][0] {
+				panic(fmt.Sprintf("model: %s: dst[%d] and dst[%d] are the same buffer "+
+					"(each output column needs its own)", method, i, j))
+			}
+		}
+	}
 }

@@ -1,0 +1,382 @@
+package model
+
+import "subcouple/internal/sparse"
+
+// ModeFloat32: serve from float32 copies of the model's values with float32
+// arithmetic throughout. Halving the value width halves the dominant memory
+// stream (Gw's CSR values) for roughly single-precision relative error —
+// measured per model, not assumed: cmd/benchreport's ApplyF32 rows carry the
+// observed max relative error against the exact float64 path.
+//
+// The float32 kernels mirror the float64 loop structure statement for
+// statement (including the panel chunking), so within the mode every serving
+// shape — single apply, column, batch, panel, any worker count — is bitwise
+// consistent: a float32 batched column equals a float32 single apply bit for
+// bit. Only the comparison against ModeExact carries the precision loss.
+// The model itself stays float64; the converted copies live only in the
+// engine.
+
+// f32Rep holds the converted value arrays. Structure (ColPtr/RowIdx/RowPtr/
+// ColIdx, block In/Out) is shared with the float64 model — only values are
+// copied.
+type f32Rep struct {
+	colsVal []float32     // QColumns: m.Cols.Val converted
+	levels  [][][]float32 // QFactored: per level, per block, Data converted
+	gw      []float32     // m.Gw.Val converted
+	gwt     []float32     // m.Gwt.Val converted, nil without Gwt
+}
+
+func to32(v []float64) []float32 {
+	out := make([]float32, len(v))
+	for i, x := range v {
+		out[i] = float32(x)
+	}
+	return out
+}
+
+func newF32Rep(m *Model) *f32Rep {
+	f := &f32Rep{gw: to32(m.Gw.Val)}
+	if m.Gwt != nil {
+		f.gwt = to32(m.Gwt.Val)
+	}
+	switch m.Kind {
+	case QColumns:
+		f.colsVal = to32(m.Cols.Val)
+	case QFactored:
+		f.levels = make([][][]float32, len(m.Levels))
+		for li := range m.Levels {
+			blocks := make([][]float32, len(m.Levels[li].Blocks))
+			for bi := range m.Levels[li].Blocks {
+				blocks[bi] = to32(m.Levels[li].Blocks[bi].Data)
+			}
+			f.levels[li] = blocks
+		}
+	}
+	return f
+}
+
+// scratch32 is the float32 mirror of scratch, plus conversion staging for
+// the float64 in/out panels at the mode boundary.
+type scratch32 struct {
+	x, y []float32 // single-RHS conversion staging
+	u, w []float32
+	a, b []float32
+	unit []float32
+
+	px, py []float32 // panel conversion staging
+	pu, pw []float32
+	pa, pb []float32
+}
+
+func newScratch32(m *Model) *scratch32 {
+	sc := &scratch32{
+		x:    make([]float32, m.N),
+		y:    make([]float32, m.N),
+		u:    make([]float32, m.N),
+		w:    make([]float32, m.N),
+		unit: make([]float32, m.N),
+	}
+	if m.Kind == QFactored {
+		sc.a = make([]float32, m.N)
+		sc.b = make([]float32, m.N)
+	}
+	return sc
+}
+
+// clearUnit re-zeroes one unit-vector slot (see scratch.clearUnit).
+func (sc *scratch32) clearUnit(j int) { sc.unit[j] = 0 }
+
+func (sc *scratch32) ensurePanel(m *Model, width int) {
+	if len(sc.pu) >= m.N*width {
+		return
+	}
+	sc.px = make([]float32, m.N*width)
+	sc.py = make([]float32, m.N*width)
+	sc.pu = make([]float32, m.N*width)
+	sc.pw = make([]float32, m.N*width)
+	if m.Kind == QFactored {
+		sc.pa = make([]float32, m.N*width)
+		sc.pb = make([]float32, m.N*width)
+	}
+}
+
+// csrMulVec32 is MulVecInto over shared CSR structure with converted values.
+func csrMulVec32(m *sparse.Matrix, val []float32, y, x []float32) {
+	for r := 0; r < m.Rows; r++ {
+		var s float32
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			s += val[k] * x[m.ColIdx[k]]
+		}
+		y[r] = s
+	}
+}
+
+// csrMulPanel32 is MulPanelInto over shared CSR structure with converted
+// values; per column it runs csrMulVec32's accumulation sequence, with the
+// same four-column register blocking as the float64 panel kernel.
+func csrMulPanel32(m *sparse.Matrix, val []float32, y, x []float32, k int) {
+	rows, cols := m.Rows, m.Cols
+	c := 0
+	for ; c+4 <= k; c += 4 {
+		x0, x1 := x[(c+0)*cols:(c+1)*cols], x[(c+1)*cols:(c+2)*cols]
+		x2, x3 := x[(c+2)*cols:(c+3)*cols], x[(c+3)*cols:(c+4)*cols]
+		y0, y1 := y[(c+0)*rows:(c+1)*rows], y[(c+1)*rows:(c+2)*rows]
+		y2, y3 := y[(c+2)*rows:(c+3)*rows], y[(c+3)*rows:(c+4)*rows]
+		for r := 0; r < rows; r++ {
+			var s0, s1, s2, s3 float32
+			for p := m.RowPtr[r]; p < m.RowPtr[r+1]; p++ {
+				v, ci := val[p], m.ColIdx[p]
+				s0 += v * x0[ci]
+				s1 += v * x1[ci]
+				s2 += v * x2[ci]
+				s3 += v * x3[ci]
+			}
+			y0[r], y1[r], y2[r], y3[r] = s0, s1, s2, s3
+		}
+	}
+	for ; c < k; c++ {
+		yc, xc := y[c*rows:(c+1)*rows], x[c*cols:(c+1)*cols]
+		for r := 0; r < rows; r++ {
+			var s float32
+			for p := m.RowPtr[r]; p < m.RowPtr[r+1]; p++ {
+				s += val[p] * xc[m.ColIdx[p]]
+			}
+			yc[r] = s
+		}
+	}
+}
+
+// apply32 converts one float64 RHS and serves it through the float32 kernels.
+func (e *Engine) apply32(sc *scratch32, dst, x []float64, thresholded bool) {
+	for i, v := range x {
+		sc.x[i] = float32(v)
+	}
+	e.apply32From(sc, dst, sc.x, thresholded)
+}
+
+// apply32From runs the float32 three-stage apply from an already-float32
+// input (a converted RHS, or the mode's unit vector for columns), widening
+// the result into dst. The loop structure mirrors applyInto exactly.
+func (e *Engine) apply32From(sc *scratch32, dst []float64, x []float32, thresholded bool) {
+	gm, gv := e.m.Gw, e.f32.gw
+	if thresholded {
+		gm, gv = e.m.Gwt, e.f32.gwt
+	}
+	switch e.m.Kind {
+	case QColumns:
+		c := e.m.Cols
+		cv := e.f32.colsVal
+		for j := 0; j < e.m.N; j++ {
+			var s float32
+			for k := c.ColPtr[j]; k < c.ColPtr[j+1]; k++ {
+				s += cv[k] * x[c.RowIdx[k]]
+			}
+			sc.u[j] = s
+		}
+		csrMulVec32(gm, gv, sc.w, sc.u)
+		for i := range sc.y {
+			sc.y[i] = 0
+		}
+		for j, wc := range sc.w {
+			if wc != 0 {
+				for k := c.ColPtr[j]; k < c.ColPtr[j+1]; k++ {
+					sc.y[c.RowIdx[k]] += wc * cv[k]
+				}
+			}
+		}
+	case QFactored:
+		e.backward32(sc, sc.u, x)
+		csrMulVec32(gm, gv, sc.w, sc.u)
+		e.forward32(sc, sc.y, sc.w)
+	}
+	for i := range dst {
+		dst[i] = float64(sc.y[i])
+	}
+}
+
+// forward32 mirrors forwardInto in float32.
+func (e *Engine) forward32(sc *scratch32, dst, x []float32) {
+	cur, nxt := sc.a, sc.b
+	copy(cur, x)
+	for li := range e.m.Levels {
+		lv := &e.m.Levels[li]
+		data := e.f32.levels[li]
+		for i := range nxt {
+			nxt[i] = 0
+		}
+		for _, i := range lv.PassThrough {
+			nxt[i] = cur[i]
+		}
+		for bi := range lv.Blocks {
+			blk := &lv.Blocks[bi]
+			bd := data[bi]
+			for r, oi := range blk.Out {
+				var s float32
+				row := bd[r*blk.Cols : (r+1)*blk.Cols]
+				for c, ii := range blk.In {
+					s += row[c] * cur[ii]
+				}
+				nxt[oi] = s
+			}
+		}
+		cur, nxt = nxt, cur
+	}
+	copy(dst, cur)
+}
+
+// backward32 mirrors backwardInto in float32.
+func (e *Engine) backward32(sc *scratch32, dst, x []float32) {
+	cur, nxt := sc.a, sc.b
+	copy(cur, x)
+	for li := len(e.m.Levels) - 1; li >= 0; li-- {
+		lv := &e.m.Levels[li]
+		data := e.f32.levels[li]
+		for i := range nxt {
+			nxt[i] = 0
+		}
+		for _, i := range lv.PassThrough {
+			nxt[i] = cur[i]
+		}
+		for bi := range lv.Blocks {
+			blk := &lv.Blocks[bi]
+			bd := data[bi]
+			for c, ii := range blk.In {
+				var s float32
+				for r, oi := range blk.Out {
+					s += bd[r*blk.Cols+c] * cur[oi]
+				}
+				nxt[ii] = s
+			}
+		}
+		cur, nxt = nxt, cur
+	}
+	copy(dst, cur)
+}
+
+// applyPanel32 is the float32 multi-RHS apply: convert the float64 panel
+// once, run the three float32 panel stages (each mirroring apply32From's
+// per-column accumulation order), widen the result back. Within the mode a
+// panel column is bitwise identical to apply32 on that column.
+func (e *Engine) applyPanel32(sc *scratch32, dst, x []float64, thresholded bool, k int) {
+	n := e.m.N
+	gm, gv := e.m.Gw, e.f32.gw
+	if thresholded {
+		gm, gv = e.m.Gwt, e.f32.gwt
+	}
+	px, py := sc.px[:n*k], sc.py[:n*k]
+	for i := range px {
+		px[i] = float32(x[i])
+	}
+	switch e.m.Kind {
+	case QColumns:
+		c := e.m.Cols
+		cv := e.f32.colsVal
+		pu, pw := sc.pu[:n*k], sc.pw[:n*k]
+		for j := 0; j < n; j++ {
+			lo, hi := c.ColPtr[j], c.ColPtr[j+1]
+			for cc := 0; cc < k; cc++ {
+				base := cc * n
+				var s float32
+				for p := lo; p < hi; p++ {
+					s += cv[p] * px[base+c.RowIdx[p]]
+				}
+				pu[base+j] = s
+			}
+		}
+		csrMulPanel32(gm, gv, pw, pu, k)
+		for i := range py {
+			py[i] = 0
+		}
+		for j := 0; j < n; j++ {
+			lo, hi := c.ColPtr[j], c.ColPtr[j+1]
+			for cc := 0; cc < k; cc++ {
+				wc := pw[cc*n+j]
+				if wc == 0 {
+					continue
+				}
+				base := cc * n
+				for p := lo; p < hi; p++ {
+					py[base+c.RowIdx[p]] += wc * cv[p]
+				}
+			}
+		}
+	case QFactored:
+		e.backwardPanel32(sc, sc.pu[:n*k], px, k)
+		csrMulPanel32(gm, gv, sc.pw[:n*k], sc.pu[:n*k], k)
+		e.forwardPanel32(sc, py, sc.pw[:n*k], k)
+	}
+	for i := range dst {
+		dst[i] = float64(py[i])
+	}
+}
+
+// forwardPanel32 mirrors forwardPanel in float32.
+func (e *Engine) forwardPanel32(sc *scratch32, dst, x []float32, k int) {
+	n := e.m.N
+	cur, nxt := sc.pa[:n*k], sc.pb[:n*k]
+	copy(cur, x)
+	for li := range e.m.Levels {
+		lv := &e.m.Levels[li]
+		data := e.f32.levels[li]
+		for i := range nxt {
+			nxt[i] = 0
+		}
+		for _, i := range lv.PassThrough {
+			for cc := 0; cc < k; cc++ {
+				nxt[cc*n+i] = cur[cc*n+i]
+			}
+		}
+		for bi := range lv.Blocks {
+			blk := &lv.Blocks[bi]
+			bd := data[bi]
+			for r, oi := range blk.Out {
+				row := bd[r*blk.Cols : (r+1)*blk.Cols]
+				for cc := 0; cc < k; cc++ {
+					base := cc * n
+					var s float32
+					for c, ii := range blk.In {
+						s += row[c] * cur[base+ii]
+					}
+					nxt[base+oi] = s
+				}
+			}
+		}
+		cur, nxt = nxt, cur
+	}
+	copy(dst, cur)
+}
+
+// backwardPanel32 mirrors backwardPanel in float32.
+func (e *Engine) backwardPanel32(sc *scratch32, dst, x []float32, k int) {
+	n := e.m.N
+	cur, nxt := sc.pa[:n*k], sc.pb[:n*k]
+	copy(cur, x)
+	for li := len(e.m.Levels) - 1; li >= 0; li-- {
+		lv := &e.m.Levels[li]
+		data := e.f32.levels[li]
+		for i := range nxt {
+			nxt[i] = 0
+		}
+		for _, i := range lv.PassThrough {
+			for cc := 0; cc < k; cc++ {
+				nxt[cc*n+i] = cur[cc*n+i]
+			}
+		}
+		for bi := range lv.Blocks {
+			blk := &lv.Blocks[bi]
+			bd := data[bi]
+			for c, ii := range blk.In {
+				for cc := 0; cc < k; cc++ {
+					base := cc * n
+					var s float32
+					for r, oi := range blk.Out {
+						s += bd[r*blk.Cols+c] * cur[base+oi]
+					}
+					nxt[base+ii] = s
+				}
+			}
+		}
+		cur, nxt = nxt, cur
+	}
+	copy(dst, cur)
+}

@@ -1,0 +1,278 @@
+package model_test
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"subcouple/internal/core"
+	"subcouple/internal/model"
+)
+
+// TestParseMode pins the CLI spellings of the serving modes.
+func TestParseMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want model.Mode
+	}{
+		{"", model.ModeExact}, {"exact", model.ModeExact},
+		{"dense", model.ModeDense},
+		{"float32", model.ModeFloat32}, {"f32", model.ModeFloat32},
+	} {
+		got, err := model.ParseMode(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseMode(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := model.ParseMode("double"); err == nil || !strings.Contains(err.Error(), "double") {
+		t.Fatalf("ParseMode(double) err = %v, want unknown-mode error", err)
+	}
+	if model.ModeDense.String() != "dense" || model.ModeExact.String() != "exact" ||
+		model.ModeFloat32.String() != "float32" {
+		t.Fatal("Mode.String spellings changed")
+	}
+}
+
+// denseReference materializes the exact operator column by column and
+// returns it row-major — the definition dense mode is checked against.
+func denseReference(t *testing.T, m *model.Model, thresholded bool) []float64 {
+	t.Helper()
+	eng := model.NewEngine(m)
+	n := m.N
+	g := make([]float64, n*n)
+	col := make([]float64, n)
+	for j := 0; j < n; j++ {
+		if thresholded {
+			eng.ColumnThresholdedInto(col, j)
+		} else {
+			eng.ColumnInto(col, j)
+		}
+		for i := 0; i < n; i++ {
+			g[i*n+j] = col[i]
+		}
+	}
+	return g
+}
+
+// TestDenseMode pins the dense serving mode's contracts: columns are bitwise
+// identical to exact mode (they ARE the materialized exact columns); applies
+// equal the documented single-pass j-ascending row dot over those columns,
+// bitwise, for single, panel and batch shapes at any worker count; and the
+// materialized operator still looks like a conductance matrix (positive
+// diagonal, symmetric up to extraction rounding).
+func TestDenseMode(t *testing.T) {
+	for _, method := range []core.Method{core.Wavelet, core.LowRank} {
+		t.Run(method.String(), func(t *testing.T) {
+			m := extract256(t, method).Model()
+			n := m.N
+			exact := model.NewEngine(m)
+			dense, err := model.NewEngineOpts(m, model.EngineOptions{Mode: model.ModeDense})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dense.Mode() != model.ModeDense || dense.Exact() {
+				t.Fatal("mode accessors wrong")
+			}
+
+			// Columns: bitwise identical to exact mode.
+			want, got := make([]float64, n), make([]float64, n)
+			for _, j := range []int{0, 7, n - 1} {
+				exact.ColumnInto(want, j)
+				dense.ColumnInto(got, j)
+				bitwiseEqual(t, fmt.Sprintf("dense ColumnInto(%d)", j), got, want)
+				exact.ColumnThresholdedInto(want, j)
+				dense.ColumnThresholdedInto(got, j)
+				bitwiseEqual(t, fmt.Sprintf("dense ColumnThresholdedInto(%d)", j), got, want)
+				exact.QColumnInto(want, j)
+				dense.QColumnInto(got, j)
+				bitwiseEqual(t, fmt.Sprintf("dense QColumnInto(%d)", j), got, want)
+			}
+
+			// Applies: bitwise equal to the documented summation order — one
+			// j-ascending dot per row over the materialized entries.
+			g := denseReference(t, m, false)
+			x := probeVec(n, 3)
+			ref := make([]float64, n)
+			for i := 0; i < n; i++ {
+				var s float64
+				for j := 0; j < n; j++ {
+					s += g[i*n+j] * x[j]
+				}
+				ref[i] = s
+			}
+			dense.ApplyInto(got, x)
+			bitwiseEqual(t, "dense ApplyInto vs row-dot reference", got, ref)
+
+			// And numerically indistinguishable from the exact apply.
+			exact.ApplyInto(want, x)
+			scale := 0.0
+			for i := range want {
+				if a := math.Abs(want[i]); a > scale {
+					scale = a
+				}
+			}
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > 1e-10*scale {
+					t.Fatalf("dense apply drifted from exact at %d: %v vs %v", i, got[i], want[i])
+				}
+			}
+
+			// Panel and batch shapes reduce to the same single dense apply.
+			xs := [][]float64{probeVec(n, 1), probeVec(n, 2), probeVec(n, 3)}
+			singles := make([][]float64, len(xs))
+			for i := range xs {
+				singles[i] = make([]float64, n)
+				dense.ApplyInto(singles[i], xs[i])
+			}
+			panel := packPanel(n, xs)
+			out := make([]float64, len(panel))
+			for _, workers := range []int{1, 2} {
+				dense.ApplyPanelInto(out, panel, len(xs), workers)
+				for c := range xs {
+					bitwiseEqual(t, fmt.Sprintf("dense panel col %d workers=%d", c, workers),
+						out[c*n:(c+1)*n], singles[c])
+				}
+			}
+
+			// Conductance shape of the materialized operator: positive
+			// diagonal, symmetric up to extraction rounding.
+			var maxAbs, maxAsym float64
+			for i := 0; i < n; i++ {
+				dense.ColumnInto(got, i)
+				if got[i] <= 0 {
+					t.Fatalf("dense G[%d,%d] = %v, conductance diagonal must be positive", i, i, got[i])
+				}
+				for j := 0; j < n; j++ {
+					if a := math.Abs(g[i*n+j]); a > maxAbs {
+						maxAbs = a
+					}
+					if a := math.Abs(g[i*n+j] - g[j*n+i]); a > maxAsym {
+						maxAsym = a
+					}
+				}
+			}
+			if maxAsym > 1e-8*maxAbs {
+				t.Fatalf("materialized G asymmetric: max |G-Gᵀ| = %v vs max |G| = %v", maxAsym, maxAbs)
+			}
+		})
+	}
+}
+
+// TestDenseBudget pins the refusal path: a model over the dense budget must
+// fail engine construction with the sizes named, never silently materialize.
+func TestDenseBudget(t *testing.T) {
+	m := extract256(t, core.LowRank).Model()
+	_, err := model.NewEngineOpts(m, model.EngineOptions{Mode: model.ModeDense, DenseBudget: m.N})
+	if err == nil {
+		t.Fatal("over-budget dense engine built without error")
+	}
+	if !strings.Contains(err.Error(), "budget") || !strings.Contains(err.Error(), fmt.Sprint(m.N)) {
+		t.Fatalf("budget error %q does not name the budget and size", err)
+	}
+	if _, err := model.NewEngineOpts(m, model.EngineOptions{Mode: model.Mode(99)}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+// TestFloat32Mode pins the float32 serving mode: measured relative error
+// against the exact path stays within single-precision expectations, and the
+// mode is internally bitwise-consistent — a float32 batched or panel column
+// equals the float32 single apply bit for bit, so coalescing stays invisible
+// within the mode.
+func TestFloat32Mode(t *testing.T) {
+	for _, method := range []core.Method{core.Wavelet, core.LowRank} {
+		t.Run(method.String(), func(t *testing.T) {
+			m := extract256(t, method).Model()
+			n := m.N
+			exact := model.NewEngine(m)
+			f32, err := model.NewEngineOpts(m, model.EngineOptions{Mode: model.ModeFloat32})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			x := probeVec(n, 3)
+			want, got := make([]float64, n), make([]float64, n)
+			exact.ApplyInto(want, x)
+			f32.ApplyInto(got, x)
+			scale := 0.0
+			for i := range want {
+				if a := math.Abs(want[i]); a > scale {
+					scale = a
+				}
+			}
+			var maxRel float64
+			for i := range want {
+				if r := math.Abs(got[i]-want[i]) / scale; r > maxRel {
+					maxRel = r
+				}
+			}
+			if maxRel > 1e-4 {
+				t.Fatalf("float32 apply error %v, beyond single-precision expectations", maxRel)
+			}
+			if maxRel == 0 {
+				t.Fatal("float32 apply bitwise equal to float64 — mode is not actually serving float32")
+			}
+
+			// Thresholded path serves too.
+			exact.ApplyThresholdedInto(want, x)
+			f32.ApplyThresholdedInto(got, x)
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > 1e-4*scale {
+					t.Fatalf("float32 thresholded apply drifted at %d: %v vs %v", i, got[i], want[i])
+				}
+			}
+
+			// Columns: float32 column j equals the float32 apply of e_j bit
+			// for bit (same kernels, exactly converted unit vector).
+			unit := make([]float64, n)
+			unit[7] = 1
+			f32.ApplyInto(want, unit)
+			f32.ColumnInto(got, 7)
+			bitwiseEqual(t, "float32 ColumnInto vs unit apply", got, want)
+
+			// QColumnInto stays float64-exact in every mode: it materializes
+			// the stored Q, which describes the artifact, not the serving
+			// kernels.
+			exact.QColumnInto(want, 7)
+			f32.QColumnInto(got, 7)
+			bitwiseEqual(t, "float32 QColumnInto", got, want)
+
+			// Batched shapes are bitwise-consistent within the mode.
+			xs := [][]float64{probeVec(n, 1), probeVec(n, 2), probeVec(n, 3)}
+			singles := make([][]float64, len(xs))
+			for i := range xs {
+				singles[i] = make([]float64, n)
+				f32.ApplyInto(singles[i], xs[i])
+			}
+			panel := packPanel(n, xs)
+			out := make([]float64, len(panel))
+			for _, workers := range []int{1, 2} {
+				f32.ApplyPanelInto(out, panel, len(xs), workers)
+				for c := range xs {
+					bitwiseEqual(t, fmt.Sprintf("f32 panel col %d workers=%d", c, workers),
+						out[c*n:(c+1)*n], singles[c])
+				}
+				batch := f32.ApplyBatch(xs, workers)
+				for c := range xs {
+					bitwiseEqual(t, fmt.Sprintf("f32 batch col %d workers=%d", c, workers),
+						batch[c], singles[c])
+				}
+			}
+		})
+	}
+}
+
+// TestFingerprintRequiresExact pins the exactness-path rejection: the dense
+// and float32 modes change apply rounding, so fingerprinting them would
+// produce a value matching no artifact — they must refuse loudly.
+func TestFingerprintRequiresExact(t *testing.T) {
+	m := extract256(t, core.LowRank).Model()
+	for _, mode := range []model.Mode{model.ModeDense, model.ModeFloat32} {
+		eng, err := model.NewEngineOpts(m, model.EngineOptions{Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		expectPanic(t, []string{"Fingerprint", "exact"}, func() { eng.Fingerprint(1) })
+	}
+}

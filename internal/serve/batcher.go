@@ -19,14 +19,15 @@ var ErrClosed = errors.New("serve: batcher closed")
 const DefaultMaxBatch = 32
 
 // Batcher coalesces concurrent Apply requests on one model into single
-// multi-RHS Engine.ApplyBatchInto calls. The first request opens a batch;
-// the collector goroutine keeps admitting requests until the coalescing
-// window elapses or the batch is full, then flushes the whole batch through
-// one engine checked out of the pool. Flushes run concurrently up to the
-// pool size, so a long window never serializes the daemon.
+// multi-RHS panel applies. The first request opens a batch; the collector
+// goroutine keeps admitting requests until the coalescing window elapses or
+// the batch is full, then packs the batch into one column-major n×k panel
+// and flushes it through Engine.ApplyPanelInto on one engine checked out of
+// the pool. Flushes run concurrently up to the pool size, so a long window
+// never serializes the daemon.
 //
-// Coalescing is invisible in the response bytes: ApplyBatchInto computes
-// each column with exactly the single-RHS arithmetic (and is bitwise
+// Coalescing is invisible in the response bytes: the panel kernels compute
+// each column with exactly the single-RHS arithmetic (and are bitwise
 // deterministic for any worker count), so a batched response is identical
 // to the unbatched one. The window only trades a little latency for
 // throughput.
@@ -189,9 +190,29 @@ func (b *Batcher) splitOff(batch []*applyReq, r *applyReq) []*applyReq {
 	return batch
 }
 
+// panelPool recycles the column-major pack/unpack buffers used by flush:
+// steady-state batching reuses the same two panels per flight instead of
+// allocating 2·n·k floats per batch.
+var panelPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// getPanel checks a panel of at least size entries out of panelPool.
+func getPanel(size int) *[]float64 {
+	p := panelPool.Get().(*[]float64)
+	if cap(*p) < size {
+		*p = make([]float64, size)
+	}
+	*p = (*p)[:size]
+	return p
+}
+
 // flush runs one batch on a pool engine and completes every request in it.
+// A multi-request batch is packed into one column-major panel and handed
+// straight to the engine's panel kernels — one sweep over the model
+// structure computes every column; a lone request goes through the
+// single-RHS path (the panel kernels reduce to it anyway at k == 1).
 // Panics (engine misuse, impossible dimensions — all pre-validated, so this
-// is a backstop) are converted to errors instead of killing the daemon.
+// is a backstop) are converted to errors instead of killing the daemon, and
+// the deferred Put returns the engine to the pool on every path.
 func (b *Batcher) flush(batch []*applyReq) {
 	defer b.flights.Done()
 	err := func() (err error) {
@@ -209,24 +230,31 @@ func (b *Batcher) flush(batch []*applyReq) {
 		b.rec.Observe("serve/batch_size", float64(len(batch)))
 		sp := b.tr.Begin("serve/flush").Arg("cols", len(batch))
 		defer sp.End()
-		if batch[0].thresholded {
-			// Gwt applies have no batched engine path; run them back to back
-			// on the checked-out engine.
-			for _, r := range batch {
+		if len(batch) == 1 {
+			r := batch[0]
+			if r.thresholded {
 				eng.ApplyThresholdedInto(r.dst, r.x)
+			} else {
+				eng.ApplyInto(r.dst, r.x)
 			}
 			return nil
 		}
-		if len(batch) == 1 {
-			eng.ApplyInto(batch[0].dst, batch[0].x)
-			return nil
-		}
-		dst := make([][]float64, len(batch))
-		xs := make([][]float64, len(batch))
+		n := b.pool.Model().N
+		k := len(batch)
+		xp, yp := getPanel(n*k), getPanel(n*k)
+		defer panelPool.Put(xp)
+		defer panelPool.Put(yp)
 		for i, r := range batch {
-			dst[i], xs[i] = r.dst, r.x
+			copy((*xp)[i*n:(i+1)*n], r.x)
 		}
-		eng.ApplyBatchInto(dst, xs, b.workers)
+		if batch[0].thresholded {
+			eng.ApplyPanelThresholdedInto(*yp, *xp, k, b.workers)
+		} else {
+			eng.ApplyPanelInto(*yp, *xp, k, b.workers)
+		}
+		for i, r := range batch {
+			copy(r.dst, (*yp)[i*n:(i+1)*n])
+		}
 		return nil
 	}()
 	for _, r := range batch {

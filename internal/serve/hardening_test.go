@@ -1,0 +1,273 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"subcouple/internal/core"
+	"subcouple/internal/model"
+	"subcouple/internal/obs"
+	"subcouple/internal/serve"
+)
+
+// privateModel returns a deep copy of the cached test model, safe to corrupt
+// in place without poisoning other tests.
+func privateModel(t *testing.T, method core.Method) *model.Model {
+	t.Helper()
+	data, err := model.Encode(testModel(t, method))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// phaseCalls pulls one phase's call count out of a recorder snapshot.
+func phaseCalls(snap obs.Snapshot, name string) int64 {
+	for _, p := range snap.Phases {
+		if p.Name == name {
+			return p.Calls
+		}
+	}
+	return 0
+}
+
+// TestFlushPanicRecovery pins the batcher's panic backstop: a request that
+// makes the engine panic mid-flush (simulated here by corrupting the shared
+// model's structure) must come back as an error — not kill the daemon, not
+// strand the checked-out engine. With a one-engine pool, the follow-up apply
+// both proves the engine returned to the pool and that it still computes
+// bitwise-correct results.
+func TestFlushPanicRecovery(t *testing.T) {
+	m := privateModel(t, core.LowRank)
+	p, err := serve.NewPool(m, 1, model.EngineOptions{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A wide window so the two concurrent requests below fuse into one
+	// flush and exercise the panel path, not just the k == 1 case.
+	b := serve.NewBatcher(p, 200*time.Millisecond, 4, 1, nil, nil)
+	defer b.Close()
+
+	saved := m.Gw.ColIdx[0]
+	m.Gw.ColIdx[0] = -1 // poison: the next apply indexes out of range
+
+	ctx := context.Background()
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = b.Apply(ctx, make([]float64, m.N), probeVec(m.N, i), false)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil || !strings.Contains(err.Error(), "apply panic") {
+			t.Fatalf("poisoned request %d: err = %v, want an apply-panic error", i, err)
+		}
+	}
+
+	m.Gw.ColIdx[0] = saved
+	y := make([]float64, m.N)
+	if err := b.Apply(ctx, y, probeVec(m.N, 3), false); err != nil {
+		t.Fatalf("apply after recovered panic: %v (engine leaked from the pool?)", err)
+	}
+	bitwiseEqual(t, "apply after recovered panic", y, direct(m, probeVec(m.N, 3), false))
+}
+
+// TestColumnAndFingerprintPanicRecovery pins the handler-side hardening: a
+// panic inside /column or /fingerprint answers 500 and returns the engine to
+// the pool. The pool has one engine, so the successful requests after the
+// restore are only possible if neither panic leaked it.
+func TestColumnAndFingerprintPanicRecovery(t *testing.T) {
+	m := testModel(t, core.LowRank)
+	s, ts, name := newTestServer(t, m, serve.Options{PoolSize: 1, Timeout: 10 * time.Second})
+
+	// newTestServer serves a private decode of the artifact; corrupt that.
+	served := s.Model(name)
+	saved := served.Gw.ColIdx[0]
+	served.Gw.ColIdx[0] = -1
+
+	get := func(url string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if status, body := get("/column?model=" + name + "&j=3"); status != http.StatusInternalServerError ||
+		!strings.Contains(body, "panic") {
+		t.Fatalf("/column on corrupted model: %d %q, want 500 naming the panic", status, body)
+	}
+	if status, body := get("/fingerprint?model=" + name); status != http.StatusInternalServerError ||
+		!strings.Contains(body, "panic") {
+		t.Fatalf("/fingerprint on corrupted model: %d %q, want 500 naming the panic", status, body)
+	}
+
+	served.Gw.ColIdx[0] = saved
+	status, body := get("/column?model=" + name + "&j=3")
+	if status != http.StatusOK {
+		t.Fatalf("/column after restore: %d %q (engine leaked from the pool?)", status, body)
+	}
+	var ar struct {
+		Y []float64 `json:"y"`
+	}
+	if err := json.Unmarshal([]byte(body), &ar); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, served.N)
+	model.NewEngine(served).ColumnInto(want, 3)
+	bitwiseEqual(t, "column after recovered panic", ar.Y, want)
+	if status, _ := get("/fingerprint?model=" + name); status != http.StatusOK {
+		t.Fatalf("/fingerprint after restore: %d", status)
+	}
+}
+
+// TestServeModes wires the serving modes through the daemon: /apply answers
+// exactly what a direct engine in the same mode computes, /models reports
+// the mode and the artifact's exact fingerprint, and /fingerprint refuses
+// with 400 because non-exact kernels would hash to a value matching no
+// artifact.
+func TestServeModes(t *testing.T) {
+	m := testModel(t, core.LowRank)
+	exactFP := fmt.Sprintf("%016x", model.NewEngine(m).Fingerprint(1))
+
+	for _, mode := range []model.Mode{model.ModeDense, model.ModeFloat32} {
+		t.Run(mode.String(), func(t *testing.T) {
+			_, ts, name := newTestServer(t, m, serve.Options{
+				PoolSize: 1, Window: 200 * time.Microsecond, Mode: mode,
+			})
+
+			ref, err := model.NewEngineOpts(m, model.EngineOptions{Mode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := probeVec(m.N, 2)
+			want := make([]float64, m.N)
+			ref.ApplyInto(want, x)
+			bitwiseEqual(t, mode.String()+" /apply", postJSON(t, ts, name, x, false), want)
+			ref.ApplyThresholdedInto(want, x)
+			bitwiseEqual(t, mode.String()+" thresholded /apply", postJSON(t, ts, name, x, true), want)
+
+			resp, err := http.Get(ts.URL + "/models")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var infos []map[string]any
+			if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if infos[0]["mode"] != mode.String() {
+				t.Fatalf("/models mode %v, want %s", infos[0]["mode"], mode)
+			}
+			if infos[0]["fingerprint"] != exactFP {
+				t.Fatalf("/models fingerprint %v, want the artifact's exact hash %s", infos[0]["fingerprint"], exactFP)
+			}
+
+			resp, err = http.Get(ts.URL + "/fingerprint?model=" + name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "exact") {
+				t.Fatalf("/fingerprint in %s mode: %d %q, want 400 naming exactness", mode, resp.StatusCode, body)
+			}
+		})
+	}
+}
+
+// TestDenseModeOverBudgetRefusesToServe: an over-budget dense registration
+// fails loudly at AddModel instead of silently materializing.
+func TestDenseModeOverBudgetRefusesToServe(t *testing.T) {
+	m := testModel(t, core.LowRank)
+	s := serve.New(serve.Options{Mode: model.ModeDense, DenseBudget: m.N})
+	err := s.AddModel("m", m)
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("over-budget dense AddModel: %v, want a budget error", err)
+	}
+}
+
+// TestThresholdedCoalescing pins that thresholded batches now flush through
+// the panel kernels bitwise-identically: concurrent Gwt requests fuse (the
+// batch-size histogram proves it) and every response equals the single-RHS
+// reference.
+func TestThresholdedCoalescing(t *testing.T) {
+	const clients = 6
+	m := testModel(t, core.LowRank)
+	rec := obs.NewRecorder()
+	s := serve.New(serve.Options{
+		PoolSize: 1, Window: 500 * time.Millisecond, MaxBatch: clients, Workers: 2, Recorder: rec,
+	})
+	if err := s.AddModel("m", m); err != nil {
+		t.Fatal(err)
+	}
+	s.SetReady(true)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	results := make([][]float64, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			results[c] = postJSON(t, ts, "m", probeVec(m.N, c), true)
+		}(c)
+	}
+	wg.Wait()
+	for c := 0; c < clients; c++ {
+		bitwiseEqual(t, fmt.Sprintf("thresholded client %d", c), results[c], direct(m, probeVec(m.N, c), true))
+	}
+	bs, ok := rec.Snapshot().Histograms["serve/batch_size"]
+	if !ok || bs.Max < 2 {
+		t.Fatalf("thresholded requests never coalesced (histogram %+v)", bs)
+	}
+}
+
+// TestColumnRecorderKeysOverHTTP pins the serving-path observability keys
+// end to end: one /column request lands in the model/column phase and the
+// model/columns counter of the daemon's recorder.
+func TestColumnRecorderKeysOverHTTP(t *testing.T) {
+	m := testModel(t, core.LowRank)
+	rec := obs.NewRecorder()
+	_, ts, name := newTestServer(t, m, serve.Options{PoolSize: 1, Recorder: rec})
+
+	resp, err := http.Get(ts.URL + "/column?model=" + name + "&j=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/column: %d", resp.StatusCode)
+	}
+	snap := rec.Snapshot()
+	if got := phaseCalls(snap, "model/column"); got != 1 {
+		t.Fatalf("model/column phase calls = %d, want 1", got)
+	}
+	if got := snap.Counters["model/columns"]; got != 1 {
+		t.Fatalf("model/columns counter = %d, want 1", got)
+	}
+	if got := snap.Counters["serve/req_column"]; got != 1 {
+		t.Fatalf("serve/req_column counter = %d, want 1", got)
+	}
+}

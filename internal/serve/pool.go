@@ -10,10 +10,10 @@
 //     out, apply, and return it; the pool size is the per-model concurrency
 //     limit.
 //   - Batcher: request micro-batching. Concurrent apply requests landing
-//     within a small coalescing window are fused into one multi-RHS
-//     Engine.ApplyBatchInto call. Column-wise the batched apply runs exactly
-//     the same arithmetic as a single ApplyInto, so coalescing never changes
-//     response bytes — it only buys throughput.
+//     within a small coalescing window are packed into one column-major
+//     panel and fused into a single multi-RHS Engine.ApplyPanelInto call.
+//     Column-wise the panel kernels run exactly the single-RHS arithmetic,
+//     so coalescing never changes response bytes — it only buys throughput.
 //
 // Server (server.go) wires both behind /healthz, /readyz, /models, /apply,
 // /column and /fingerprint endpoints with strict dimension validation,
@@ -39,17 +39,23 @@ type Pool struct {
 	rec     *obs.Recorder
 }
 
-// NewPool builds size engines over m (size <= 0 selects runtime.NumCPU()).
-// The recorder and tracer are attached to every engine and may be nil.
-func NewPool(m *model.Model, size int, rec *obs.Recorder, tr *obs.Tracer) *Pool {
+// NewPool builds size engines over m (size <= 0 selects runtime.NumCPU()),
+// all in the serving mode selected by opts. The recorder and tracer are
+// attached to every engine and may be nil. Construction fails when the mode
+// does — an unknown mode, or a dense materialization over its entry budget —
+// so a misconfigured daemon refuses to start instead of serving surprises.
+func NewPool(m *model.Model, size int, opts model.EngineOptions, rec *obs.Recorder, tr *obs.Tracer) (*Pool, error) {
 	size = par.Workers(size)
 	p := &Pool{m: m, engines: make(chan *model.Engine, size), size: size, rec: rec}
 	for i := 0; i < size; i++ {
-		e := model.NewEngine(m)
+		e, err := model.NewEngineOpts(m, opts)
+		if err != nil {
+			return nil, err
+		}
 		e.SetObs(rec, tr)
 		p.engines <- e
 	}
-	return p
+	return p, nil
 }
 
 // Model returns the pool's shared model.

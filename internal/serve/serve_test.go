@@ -511,7 +511,10 @@ func TestRequestValidation(t *testing.T) {
 // cancellation while exhausted, and the double-Put guard.
 func TestPoolCheckout(t *testing.T) {
 	m := testModel(t, core.LowRank)
-	p := serve.NewPool(m, 2, nil, nil)
+	p, err := serve.NewPool(m, 2, model.EngineOptions{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if p.Size() != 2 {
 		t.Fatalf("pool size %d, want 2", p.Size())
 	}
@@ -551,7 +554,10 @@ func TestPoolCheckout(t *testing.T) {
 // poisons a batch.
 func TestBatcherRejectsBadDimensions(t *testing.T) {
 	m := testModel(t, core.LowRank)
-	p := serve.NewPool(m, 1, nil, nil)
+	p, err := serve.NewPool(m, 1, model.EngineOptions{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	b := serve.NewBatcher(p, 0, 4, 1, nil, nil)
 	defer b.Close()
 

@@ -38,6 +38,15 @@ type Options struct {
 	Workers int
 	// Timeout bounds each request's admission + pool wait (0 = none).
 	Timeout time.Duration
+	// Mode selects the serving kernels for every engine in every pool:
+	// model.ModeExact (the zero value), ModeDense or ModeFloat32. Non-exact
+	// modes change apply rounding, so /fingerprint refuses with 400 and the
+	// load-time fingerprint reported by /models is computed on a temporary
+	// exact engine — it identifies the artifact, not the serving kernels.
+	Mode model.Mode
+	// DenseBudget caps dense-mode materialization, in total float64 entries
+	// (<= 0 selects model.DefaultDenseBudget). Ignored outside ModeDense.
+	DenseBudget int
 	// Recorder and Tracer receive serving telemetry; both may be nil.
 	Recorder *obs.Recorder
 	Tracer   *obs.Tracer
@@ -84,21 +93,33 @@ func (s *Server) AddModel(name string, m *model.Model) error {
 	if _, ok := s.models[name]; ok {
 		return fmt.Errorf("serve: duplicate model name %q", name)
 	}
-	pool := NewPool(m, s.opt.PoolSize, s.opt.Recorder, s.opt.Tracer)
+	pool, err := NewPool(m, s.opt.PoolSize,
+		model.EngineOptions{Mode: s.opt.Mode, DenseBudget: s.opt.DenseBudget},
+		s.opt.Recorder, s.opt.Tracer)
+	if err != nil {
+		return fmt.Errorf("serve: model %q: %w", name, err)
+	}
 	sm := &servedModel{
 		name:    name,
 		m:       m,
 		pool:    pool,
 		batcher: NewBatcher(pool, s.opt.Window, s.opt.MaxBatch, s.opt.Workers, s.opt.Recorder, s.opt.Tracer),
 	}
-	// The load-time fingerprint goes through a pool engine, so /models
-	// reports the hash of the bytes this daemon will actually serve.
-	eng, err := pool.Get(context.Background())
-	if err != nil {
-		return err
+	if s.opt.Mode == model.ModeExact {
+		// The load-time fingerprint goes through a pool engine, so /models
+		// reports the hash of the bytes this daemon will actually serve.
+		eng, err := pool.Get(context.Background())
+		if err != nil {
+			return err
+		}
+		sm.fingerprint = eng.Fingerprint(s.opt.Workers)
+		pool.Put(eng)
+	} else {
+		// Non-exact serving kernels change apply rounding, so their probe
+		// hash would match no artifact. The fingerprint still identifies the
+		// loaded artifact: compute it once on a throwaway exact engine.
+		sm.fingerprint = model.NewEngine(m).Fingerprint(s.opt.Workers)
 	}
-	sm.fingerprint = eng.Fingerprint(s.opt.Workers)
-	pool.Put(eng)
 	s.models[name] = sm
 	s.names = append(s.names, name)
 	sort.Strings(s.names)
@@ -210,6 +231,7 @@ type modelInfo struct {
 	GwtNNZ      int    `json:"gwt_nnz,omitempty"`
 	Thresholded bool   `json:"thresholded"`
 	PoolSize    int    `json:"pool_size"`
+	Mode        string `json:"mode"`
 	Fingerprint string `json:"fingerprint"`
 }
 
@@ -225,6 +247,7 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 			GwNNZ:       sm.m.Gw.NNZ(),
 			Thresholded: sm.m.Gwt != nil,
 			PoolSize:    sm.pool.Size(),
+			Mode:        s.opt.Mode.String(),
 			Fingerprint: fmt.Sprintf("%016x", sm.fingerprint),
 		}
 		if sm.m.Gwt != nil {
@@ -384,12 +407,28 @@ func (s *Server) handleColumn(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	y := make([]float64, sm.m.N)
-	if thresholded {
-		eng.ColumnThresholdedInto(y, j)
-	} else {
-		eng.ColumnInto(y, j)
+	// The deferred Put keeps a panicking engine from leaking out of the
+	// pool (a leak would shrink the concurrency limit for the rest of the
+	// daemon's life); the recover turns the panic into a 500 instead of a
+	// dropped connection.
+	if err := func() (err error) {
+		defer sm.pool.Put(eng)
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("column panic: %v", r)
+			}
+		}()
+		if thresholded {
+			eng.ColumnThresholdedInto(y, j)
+		} else {
+			eng.ColumnInto(y, j)
+		}
+		return nil
+	}(); err != nil {
+		s.opt.Recorder.Add("serve/errors", 1)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
 	}
-	sm.pool.Put(eng)
 	if r.URL.Query().Get("format") == "raw" {
 		writeRawVector(w, y)
 		return
@@ -400,10 +439,18 @@ func (s *Server) handleColumn(w http.ResponseWriter, r *http.Request) {
 // handleFingerprint recomputes the deterministic probe-apply hash through a
 // live pool engine, so the value reflects the serving path as it is right
 // now (and must equal both the load-time /models value and what
-// `subx -load` prints for the same artifact).
+// `subx -load` prints for the same artifact). It is an exactness check by
+// construction, so non-exact serving modes are refused with 400: their
+// rounding differs and the hash would match no artifact (the load-time
+// exact fingerprint is still available from /models).
 func (s *Server) handleFingerprint(w http.ResponseWriter, r *http.Request) {
 	sm := s.lookup(w, r.URL.Query().Get("model"))
 	if sm == nil {
+		return
+	}
+	if s.opt.Mode != model.ModeExact {
+		http.Error(w, fmt.Sprintf("fingerprint requires exact serving kernels; daemon is in %s mode (see /models for the load-time exact fingerprint)", s.opt.Mode),
+			http.StatusBadRequest)
 		return
 	}
 	ctx, cancel := s.reqCtx(r)
@@ -413,8 +460,21 @@ func (s *Server) handleFingerprint(w http.ResponseWriter, r *http.Request) {
 		s.applyError(w, err)
 		return
 	}
-	fp := eng.Fingerprint(s.opt.Workers)
-	sm.pool.Put(eng)
+	var fp uint64
+	if err := func() (err error) {
+		defer sm.pool.Put(eng)
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("fingerprint panic: %v", r)
+			}
+		}()
+		fp = eng.Fingerprint(s.opt.Workers)
+		return nil
+	}(); err != nil {
+		s.opt.Recorder.Add("serve/errors", 1)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	writeJSON(w, map[string]string{"model": sm.name, "fingerprint": fmt.Sprintf("%016x", fp)})
 }
 

@@ -25,13 +25,15 @@ type Matrix struct {
 }
 
 // FromTriplets builds a CSR matrix, summing duplicate entries and dropping
-// exact zeros.
+// exact zeros. The caller's slice is left untouched: construction sorts a
+// private copy, so ts can be reused (or concurrently read) afterwards.
 func FromTriplets(rows, cols int, ts []Triplet) *Matrix {
 	for _, t := range ts {
 		if t.Row < 0 || t.Row >= rows || t.Col < 0 || t.Col >= cols {
 			panic(fmt.Sprintf("sparse: triplet (%d,%d) out of %dx%d", t.Row, t.Col, rows, cols))
 		}
 	}
+	ts = append([]Triplet(nil), ts...)
 	sort.Slice(ts, func(i, j int) bool {
 		if ts[i].Row != ts[j].Row {
 			return ts[i].Row < ts[j].Row

@@ -22,6 +22,29 @@ func TestFromTripletsDedup(t *testing.T) {
 	}
 }
 
+// TestFromTripletsLeavesInputUnmodified is the regression test for the
+// in-place-sort side effect: FromTriplets used to sort the caller's slice,
+// silently reordering data the caller may still be using (e.g. a triplet
+// list shared across several constructions, or one being appended to). The
+// input must come back in exactly the order it went in.
+func TestFromTripletsLeavesInputUnmodified(t *testing.T) {
+	ts := []Triplet{
+		{2, 1, 4}, {0, 0, 1}, {1, 2, -1}, {0, 0, 2}, {2, 1, -4},
+	}
+	orig := append([]Triplet(nil), ts...)
+	m := FromTriplets(3, 3, ts)
+	for i := range ts {
+		if ts[i] != orig[i] {
+			t.Fatalf("FromTriplets reordered its input: ts[%d] = %+v, was %+v", i, ts[i], orig[i])
+		}
+	}
+	// Reusing the same slice must build the identical matrix.
+	m2 := FromTriplets(3, 3, ts)
+	if m.NNZ() != m2.NNZ() || m.At(0, 0) != m2.At(0, 0) || m.At(1, 2) != m2.At(1, 2) {
+		t.Fatalf("second construction from the same slice differs")
+	}
+}
+
 func TestMulVecAndT(t *testing.T) {
 	rng := rand.New(rand.NewSource(30))
 	rows, cols := 7, 5
