@@ -81,6 +81,12 @@ type benchRow struct {
 	// serving mode against the exact float64 apply (float32 rows only; the
 	// exact rows omit it).
 	MaxRelErr float64 `json:"max_rel_err,omitempty"`
+	// P50Seconds/P99Seconds are per-request latency quantiles scraped from
+	// the live serving metrics registry over the timed rounds (ServeApply
+	// row only) — the same histogram GET /metrics exposes, so the benchmark
+	// and production observability measure with one instrument.
+	P50Seconds float64 `json:"p50_seconds,omitempty"`
+	P99Seconds float64 `json:"p99_seconds,omitempty"`
 }
 
 // benchFile is the whole BENCH_extract.json document.
@@ -524,7 +530,8 @@ func timeApply(res *core.Result, reps int) ([]benchRow, error) {
 // the engine kernel timed by ApplySingle/ApplyBatch16. Zero substrate
 // solves, gated like the other apply rows.
 func timeServe(res *core.Result, reps int) (benchRow, error) {
-	srv := serve.New(serve.Options{Window: 200 * time.Microsecond})
+	ms := obs.NewMetrics()
+	srv := serve.New(serve.Options{Window: 200 * time.Microsecond, Metrics: ms})
 	if err := srv.AddModel("bench", res.Model()); err != nil {
 		return benchRow{}, err
 	}
@@ -573,6 +580,11 @@ func timeServe(res *core.Result, reps int) (benchRow, error) {
 	if err := oneRound(); err != nil { // warm connections, pool, and scratch
 		return benchRow{}, err
 	}
+	// The Server registered this histogram when it built its handler; the
+	// lookup returns the same handle, and diffing snapshots around the timed
+	// rounds windows the quantiles to exclude the warm-up.
+	applyLat := ms.Histogram(serve.MetricLatencySeconds, "", "endpoint", "apply")
+	warm := applyLat.Snapshot()
 	row := benchRow{Name: "ServeApply", Method: res.Method.String(), Workers: clients, Reps: reps}
 	var total float64
 	for r := 0; r < reps; r++ {
@@ -587,6 +599,9 @@ func timeServe(res *core.Result, reps int) (benchRow, error) {
 		}
 	}
 	row.MeanSeconds = total / float64(reps)
+	win := applyLat.Snapshot().Sub(warm)
+	row.P50Seconds = win.Quantile(0.50)
+	row.P99Seconds = win.Quantile(0.99)
 	return row, nil
 }
 

@@ -5,9 +5,12 @@
 // solves once, offline; subserve amortizes that cost across any number of
 // cheap applies — zero substrate solves ever happen here.
 //
-// Endpoints: /healthz, /readyz, /models, /apply (JSON or raw float64-LE),
-// /column, /fingerprint, plus /debug/vars (live expvar snapshot of the
-// serving telemetry) and /debug/pprof.
+// Endpoints: /healthz, /readyz (JSON, queue-depth-aware: 503 once total
+// queue depth crosses -shedthreshold), /models, /apply (JSON or raw
+// float64-LE), /column, /fingerprint, /metrics (Prometheus text exposition
+// of the live registry; disable with -metrics=false), plus /debug/vars
+// (live expvar snapshots of the recorder and the metrics registry) and
+// /debug/pprof.
 //
 // Usage examples:
 //
@@ -78,6 +81,8 @@ func run(args []string, out io.Writer) error {
 		report   = fs.String("report", "", "write a JSON run report (request counters, latency/batch histograms) here on shutdown")
 		modeName = fs.String("mode", "exact", "serving kernels: exact (bitwise float64), dense (precomputed dense G), or float32/f32 (reduced precision; /fingerprint is refused outside exact)")
 		denseBud = fs.Int("densebudget", 0, "with -mode dense: materialization cap in total float64 entries (0 = the built-in default)")
+		metricsOn = fs.Bool("metrics", true, "expose the live metrics registry on GET /metrics (Prometheus text format) and /debug/vars")
+		shedAt    = fs.Int("shedthreshold", 0, "return 503 from /readyz while total batcher queue depth exceeds this (0 = never shed)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,16 +97,22 @@ func run(args []string, out io.Writer) error {
 	}
 
 	rec := obs.NewRecorder()
-	publishExpvars(rec)
+	var ms *obs.Metrics
+	if *metricsOn {
+		ms = obs.NewMetrics()
+	}
+	publishExpvars(rec, ms)
 	srv := serve.New(serve.Options{
-		PoolSize:    *poolSize,
-		Window:      *window,
-		MaxBatch:    *maxBatch,
-		Workers:     *workers,
-		Timeout:     *timeout,
-		Recorder:    rec,
-		Mode:        mode,
-		DenseBudget: *denseBud,
+		PoolSize:      *poolSize,
+		Window:        *window,
+		MaxBatch:      *maxBatch,
+		Workers:       *workers,
+		Timeout:       *timeout,
+		Recorder:      rec,
+		Mode:          mode,
+		DenseBudget:   *denseBud,
+		Metrics:       ms,
+		ShedThreshold: *shedAt,
 	})
 	for _, path := range modelPaths {
 		name, err := srv.LoadFile(path)
@@ -158,7 +169,7 @@ func run(args []string, out io.Writer) error {
 	srv.Close() // flushes and waits out every admitted batch
 
 	if *report != "" {
-		if err := writeReport(*report, rec, modelPaths, *addr); err != nil {
+		if err := writeReport(*report, rec, srv, modelPaths, *addr); err != nil {
 			return err
 		}
 		log.Printf("run report written to %s", *report)
@@ -175,8 +186,11 @@ func serveEnginesPerModel(poolSize int) int {
 	return poolSize
 }
 
-// writeReport dumps the serving telemetry as a standard run report.
-func writeReport(path string, rec *obs.Recorder, models []string, addr string) error {
+// writeReport dumps the serving telemetry as a standard run report. The
+// report is written after the drain, so the optional serving block (live
+// request counts and latency quantiles per endpoint) carries final totals
+// with the queue-depth and pool gauges back at zero.
+func writeReport(path string, rec *obs.Recorder, srv *serve.Server, models []string, addr string) error {
 	rep := &obs.RunReport{
 		Schema: obs.ReportSchema,
 		Tool:   "subserve",
@@ -188,6 +202,7 @@ func writeReport(path string, rec *obs.Recorder, models []string, addr string) e
 		Results:  map[string]any{},
 		Obs:      rec.Snapshot(),
 		Numerics: rec.Numerics(),
+		Serving:  srv.ServingStats(),
 	}
 	data, err := rep.MarshalIndent()
 	if err != nil {
@@ -196,16 +211,26 @@ func writeReport(path string, rec *obs.Recorder, models []string, addr string) e
 	return os.WriteFile(path, data, 0o644)
 }
 
-// Live expvar publication; one-time registration with an atomically swapped
-// recorder, same pattern as subx (run() is re-entered by tests).
+// Live expvar publication; one-time registration with atomically swapped
+// sources, same pattern as subx (run() is re-entered by tests). The metrics
+// registry is mirrored under "subserve_metrics" so the -pprof/-debug
+// listener exposes the same series /metrics scrapes; a daemon started with
+// -metrics=false publishes an empty snapshot there.
 var (
 	expvarOnce sync.Once
 	expvarRec  atomic.Pointer[obs.Recorder]
+	expvarMet  atomic.Pointer[obs.Metrics]
 )
 
-func publishExpvars(rec *obs.Recorder) {
+func publishExpvars(rec *obs.Recorder, ms *obs.Metrics) {
 	expvarRec.Store(rec)
+	if ms != nil {
+		expvarMet.Store(ms)
+	} else {
+		expvarMet.Store(obs.NewMetrics())
+	}
 	expvarOnce.Do(func() {
 		expvar.Publish("subserve", expvar.Func(func() any { return expvarRec.Load().Snapshot() }))
+		expvar.Publish("subserve_metrics", expvar.Func(func() any { return expvarMet.Load().Snapshot() }))
 	})
 }

@@ -20,6 +20,7 @@ import (
 	"subcouple/internal/geom"
 	"subcouple/internal/model"
 	"subcouple/internal/obs"
+	"subcouple/internal/serve"
 	"subcouple/internal/solver"
 )
 
@@ -84,7 +85,7 @@ func TestModeFlag(t *testing.T) {
 	defer func() { onListen = nil }()
 	runErr := make(chan error, 1)
 	go func() {
-		runErr <- run([]string{"-model", path, "-addr", "127.0.0.1:0", "-mode", "f32", "-pool", "1"}, io.Discard)
+		runErr <- run([]string{"-model", path, "-addr", "127.0.0.1:0", "-mode", "f32", "-pool", "1", "-metrics=false"}, io.Discard)
 	}()
 	var addr net.Addr
 	select {
@@ -136,6 +137,16 @@ func TestModeFlag(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(msg), "exact") {
 		t.Fatalf("/fingerprint in f32 mode: %d %q, want 400 naming exactness", resp.StatusCode, msg)
+	}
+
+	// The daemon was started with -metrics=false: no /metrics route.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/metrics with -metrics=false: %d, want 404", resp.StatusCode)
 	}
 
 	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
@@ -254,6 +265,43 @@ func TestDaemonLifecycle(t *testing.T) {
 		t.Fatalf("served fingerprint %s, want %s", fr["fingerprint"], want)
 	}
 
+	// Metrics default on: the scrape carries the serving families with the
+	// traffic just driven, and the expvar mirror publishes the registry.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		serve.MetricHTTPRequests + `{code="2xx",endpoint="apply"} ` + fmt.Sprint(clients),
+		serve.MetricLatencySeconds + `_count{endpoint="apply"} ` + fmt.Sprint(clients),
+		serve.MetricQueueDepth + `{model="lifecycle"} 0`,
+		serve.MetricPoolInUse + `{model="lifecycle"} 0`,
+	} {
+		if !strings.Contains(string(expo), want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	resp, err = http.Get(base + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars struct {
+		Metrics obs.MetricsSnapshot `json:"subserve_metrics"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&vars)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vars.Metrics.Families) == 0 {
+		t.Error("expvar mirror subserve_metrics is empty")
+	}
+
 	// Real graceful shutdown: SIGTERM to ourselves; run() must drain and
 	// return nil.
 	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
@@ -288,5 +336,21 @@ func TestDaemonLifecycle(t *testing.T) {
 	}
 	if got := rep.Obs.Counters["solver/solves"]; got != 0 {
 		t.Fatalf("serving performed %d substrate solves, want 0", got)
+	}
+	// The serving block captured the same traffic: per-endpoint status-class
+	// counts and ordered latency quantiles, with the gauges drained to zero.
+	if rep.Serving == nil {
+		t.Fatal("report has no serving block")
+	}
+	if rep.Serving.QueueDepth != 0 || rep.Serving.PoolInUse != 0 {
+		t.Fatalf("post-drain serving gauges: depth %d, in use %d, want 0/0",
+			rep.Serving.QueueDepth, rep.Serving.PoolInUse)
+	}
+	apply := rep.Serving.Endpoints["apply"]
+	if apply.Requests["2xx"] != clients {
+		t.Fatalf("serving block apply/2xx = %d, want %d", apply.Requests["2xx"], clients)
+	}
+	if apply.LatencyCount != clients || apply.LatencyP50Seconds > apply.LatencyP99Seconds {
+		t.Fatalf("serving block apply latency malformed: %+v", apply)
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"subcouple/internal/core"
 	"subcouple/internal/model"
+	"subcouple/internal/obs"
 )
 
 // The Apply benchmarks pair the engine's scratch-buffered path against the
@@ -93,6 +94,37 @@ func TestEngineSteadyStateAllocs(t *testing.T) {
 		eng.ColumnInto(out, 0)
 		if avg := testing.AllocsPerRun(20, func() { eng.ColumnInto(out, 1) }); avg != 0 {
 			t.Errorf("%v: ColumnInto allocates %.1f objects per call in steady state", method, avg)
+		}
+	}
+}
+
+// TestEngineMetricsZeroAlloc extends the zero-allocation contract to an
+// engine with a live metrics registry attached: recording kernel durations
+// is atomics-only, so the hot paths must stay allocation-free with metrics
+// on (the serving pool attaches them to every engine).
+func TestEngineMetricsZeroAlloc(t *testing.T) {
+	for _, method := range []core.Method{core.Wavelet, core.LowRank} {
+		m := extract256(t, method).Model()
+		eng := model.NewEngine(m)
+		eng.SetMetrics(obs.NewMetrics())
+		x := probeVec(m.N, 0)
+		out := make([]float64, m.N)
+		eng.ApplyInto(out, x) // warm scratch
+		if avg := testing.AllocsPerRun(20, func() { eng.ApplyInto(out, x) }); avg != 0 {
+			t.Errorf("%v: ApplyInto with metrics allocates %.1f objects per call", method, avg)
+		}
+		eng.ColumnInto(out, 0)
+		if avg := testing.AllocsPerRun(20, func() { eng.ColumnInto(out, 1) }); avg != 0 {
+			t.Errorf("%v: ColumnInto with metrics allocates %.1f objects per call", method, avg)
+		}
+		const k = 4
+		px, py := make([]float64, k*m.N), make([]float64, k*m.N)
+		for c := 0; c < k; c++ {
+			copy(px[c*m.N:], probeVec(m.N, c))
+		}
+		eng.ApplyPanelInto(py, px, k, 1) // warm panel scratch
+		if avg := testing.AllocsPerRun(20, func() { eng.ApplyPanelInto(py, px, k, 1) }); avg != 0 {
+			t.Errorf("%v: ApplyPanelInto with metrics allocates %.1f objects per call", method, avg)
 		}
 	}
 }

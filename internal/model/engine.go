@@ -3,11 +3,19 @@ package model
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"subcouple/internal/obs"
 	"subcouple/internal/par"
 	"subcouple/internal/sparse"
 )
+
+// MetricApplySeconds is the live-metrics family for engine kernel durations,
+// labeled {mode, kind} — mode is the engine's serving-kernel family
+// (exact/dense/float32), kind the entry point (single/column/panel/batch).
+// The name lives here rather than in internal/serve because the engine owns
+// the series; serve and the CI scrape read the same spelling.
+const MetricApplySeconds = "subcouple_engine_apply_seconds"
 
 // Mode selects the Engine's serving-kernel family.
 type Mode uint8
@@ -119,6 +127,11 @@ type Engine struct {
 	// busy is the concurrent-misuse guard: 0 when idle, 1 while a public
 	// apply owns the scratch buffers.
 	busy atomic.Int32
+
+	// Live-metrics duration histograms per entry-point kind (nil without
+	// SetMetrics; nil-safe, and recording is atomics-only so the hot paths
+	// stay allocation-free).
+	mApply, mColumn, mPanel, mBatch *obs.Histogram
 }
 
 // batchState is the in-flight ApplyBatchPerColumnInto call.
@@ -261,6 +274,20 @@ func (e *Engine) SetObs(rec *obs.Recorder, tr *obs.Tracer) {
 	e.tr = tr
 }
 
+// SetMetrics attaches the live kernel-duration histograms (MetricApplySeconds,
+// labeled with the engine's mode and the entry-point kind). Engines sharing
+// one registry and mode share the series — the registry hands back the same
+// handle — so a pool aggregates naturally. A nil registry leaves recording a
+// no-op; like SetObs, metrics never change apply outputs.
+func (e *Engine) SetMetrics(ms *obs.Metrics) {
+	const help = "engine kernel duration by serving mode and entry-point kind"
+	mode := e.mode.String()
+	e.mApply = ms.Histogram(MetricApplySeconds, help, "kind", "single", "mode", mode)
+	e.mColumn = ms.Histogram(MetricApplySeconds, help, "kind", "column", "mode", mode)
+	e.mPanel = ms.Histogram(MetricApplySeconds, help, "kind", "panel", "mode", mode)
+	e.mBatch = ms.Histogram(MetricApplySeconds, help, "kind", "batch", "mode", mode)
+}
+
 // acquire takes the in-use guard or panics: an Engine's scratch buffers hold
 // per-call state, so overlapping applies from two goroutines would corrupt
 // each other's results silently. Failing the CAS means another apply is in
@@ -347,7 +374,9 @@ func (e *Engine) ApplyInto(dst, x []float64) {
 	defer e.release()
 	defer e.rec.Phase("model/apply")()
 	e.rec.Add("model/applies", 1)
+	start := time.Now()
 	e.applyAny(e.sc, dst, x, false)
+	e.mApply.Observe(time.Since(start).Seconds())
 }
 
 // ApplyThresholdedInto is ApplyInto with the thresholded Gwt (panics when
@@ -361,7 +390,9 @@ func (e *Engine) ApplyThresholdedInto(dst, x []float64) {
 	defer e.release()
 	defer e.rec.Phase("model/apply")()
 	e.rec.Add("model/applies", 1)
+	start := time.Now()
 	e.applyAny(e.sc, dst, x, true)
+	e.mApply.Observe(time.Since(start).Seconds())
 }
 
 // columnInto serves one operator column through the mode's kernels. The
@@ -396,7 +427,9 @@ func (e *Engine) ColumnInto(dst []float64, j int) {
 	defer e.release()
 	defer e.rec.Phase("model/column")()
 	e.rec.Add("model/columns", 1)
+	start := time.Now()
 	e.columnInto(dst, j, false)
+	e.mColumn.Observe(time.Since(start).Seconds())
 }
 
 // ColumnThresholdedInto is ColumnInto with the thresholded Gwt.
@@ -408,7 +441,9 @@ func (e *Engine) ColumnThresholdedInto(dst []float64, j int) {
 	defer e.release()
 	defer e.rec.Phase("model/column")()
 	e.rec.Add("model/columns", 1)
+	start := time.Now()
 	e.columnInto(dst, j, true)
+	e.mColumn.Observe(time.Since(start).Seconds())
 }
 
 // QColumnInto materializes native column j of Q itself (not the full
@@ -557,7 +592,9 @@ func (e *Engine) ApplyBatchPerColumnInto(dst, xs [][]float64, workers int) {
 	sp := e.tr.Begin("model/apply_batch").Arg("cols", len(xs)).Arg("workers", w)
 	defer sp.End()
 	e.batch = batchState{dst: dst, xs: xs, sp: sp}
+	start := time.Now()
 	par.DoWorker(workers, len(xs), e.batchFn)
+	e.mBatch.Observe(time.Since(start).Seconds())
 	e.batch = batchState{}
 }
 

@@ -2,6 +2,7 @@ package model
 
 import (
 	"fmt"
+	"time"
 
 	"subcouple/internal/obs"
 	"subcouple/internal/par"
@@ -60,7 +61,9 @@ func (e *Engine) ApplyPanelInto(dst, x []float64, k, workers int) {
 	e.rec.Add("model/panel_cols", int64(k))
 	sp := e.tr.Begin("model/apply_panel").Arg("cols", k).Arg("workers", par.Workers(workers))
 	defer sp.End()
+	start := time.Now()
 	e.panelRun(dst, x, false, k, workers, sp)
+	e.mPanel.Observe(time.Since(start).Seconds())
 }
 
 // ApplyPanelThresholdedInto is ApplyPanelInto with the thresholded Gwt
@@ -74,7 +77,9 @@ func (e *Engine) ApplyPanelThresholdedInto(dst, x []float64, k, workers int) {
 	e.rec.Add("model/panel_cols", int64(k))
 	sp := e.tr.Begin("model/apply_panel").Arg("cols", k).Arg("workers", par.Workers(workers))
 	defer sp.End()
+	start := time.Now()
 	e.panelRun(dst, x, true, k, workers, sp)
+	e.mPanel.Observe(time.Since(start).Seconds())
 }
 
 // panelRun partitions a validated panel into contiguous column chunks and
@@ -391,7 +396,9 @@ func (e *Engine) ApplyBatchInto(dst, xs [][]float64, workers int) {
 	e.rec.Add("model/batch_cols", int64(k))
 	sp := e.tr.Begin("model/apply_batch").Arg("cols", k).Arg("workers", par.Workers(workers))
 	defer sp.End()
+	start := time.Now()
 	e.panelRun(py, px, false, k, workers, sp)
+	e.mBatch.Observe(time.Since(start).Seconds())
 	for i := range dst {
 		copy(dst[i], py[i*n:(i+1)*n])
 	}

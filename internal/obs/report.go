@@ -73,6 +73,30 @@ type Numerics struct {
 	Drops     map[string]int64     `json:"drops"`
 }
 
+// ServingEndpointStat summarizes one HTTP endpoint's live telemetry in a
+// serving report: request counts by status class ("2xx", "4xx", ...) and
+// latency quantiles estimated from the endpoint's metrics histogram.
+type ServingEndpointStat struct {
+	Requests           map[string]int64 `json:"requests"`
+	LatencyCount       int64            `json:"latency_count"`
+	LatencyMeanSeconds float64          `json:"latency_mean_seconds"`
+	LatencyP50Seconds  float64          `json:"latency_p50_seconds"`
+	LatencyP95Seconds  float64          `json:"latency_p95_seconds"`
+	LatencyP99Seconds  float64          `json:"latency_p99_seconds"`
+}
+
+// ServingStats is the optional "serving" block of a subserve run report: a
+// shutdown-time snapshot of the live metrics registry. QueueDepth and
+// PoolInUse are the final gauge readings (0 after a clean drain — the drain
+// test pins that admitted requests are counted before the report is
+// written). Only subserve reports may carry this block; ValidateRunReport
+// rejects it anywhere else.
+type ServingStats struct {
+	QueueDepth int                            `json:"queue_depth"`
+	PoolInUse  int                            `json:"pool_in_use"`
+	Endpoints  map[string]ServingEndpointStat `json:"endpoints"`
+}
+
 // RunReport is the top-level document written by `cmd/subx -report` and
 // `cmd/tables -report`. Config holds the resolved run parameters, Results
 // the end-of-run extraction metrics; both are flat maps so the key set —
@@ -86,6 +110,9 @@ type RunReport struct {
 	Obs     Snapshot       `json:"obs"`
 	// Numerics is required for v2 documents and absent from v1.
 	Numerics *Numerics `json:"numerics,omitempty"`
+	// Serving is the live-metrics snapshot of a subserve report; valid only
+	// when Tool == "subserve".
+	Serving *ServingStats `json:"serving,omitempty"`
 }
 
 // MarshalIndent renders the report as stable, human-diffable JSON.
@@ -166,10 +193,50 @@ func ValidateRunReport(data []byte, requireExtraction bool) error {
 	} else if r.Numerics != nil {
 		return fmt.Errorf("run report: v1 document carries a numerics section")
 	}
+	if r.Serving != nil {
+		if !serving {
+			return fmt.Errorf("run report: tool %q carries a serving block (subserve only)", r.Tool)
+		}
+		if err := validateServing(r.Serving); err != nil {
+			return err
+		}
+	}
 	if requireExtraction {
 		for _, k := range requiredResultKeys {
 			if _, ok := r.Results[k]; !ok {
 				return fmt.Errorf("run report: missing results key %q", k)
+			}
+		}
+	}
+	return nil
+}
+
+// validateServing checks a serving block's internal consistency: gauges and
+// counts non-negative, quantiles ordered (p50 ≤ p95 ≤ p99) and non-negative
+// whenever the endpoint saw traffic.
+func validateServing(s *ServingStats) error {
+	if s.QueueDepth < 0 || s.PoolInUse < 0 {
+		return fmt.Errorf("run report: serving gauges negative: depth %d, in use %d", s.QueueDepth, s.PoolInUse)
+	}
+	for name, ep := range s.Endpoints {
+		var total int64
+		for class, c := range ep.Requests {
+			if c < 0 {
+				return fmt.Errorf("run report: serving endpoint %s: negative %s count %d", name, class, c)
+			}
+			total += c
+		}
+		if ep.LatencyCount < 0 || ep.LatencyCount > total {
+			return fmt.Errorf("run report: serving endpoint %s: latency count %d vs %d requests", name, ep.LatencyCount, total)
+		}
+		if ep.LatencyCount > 0 {
+			if ep.LatencyP50Seconds < 0 || ep.LatencyP50Seconds > ep.LatencyP95Seconds ||
+				ep.LatencyP95Seconds > ep.LatencyP99Seconds {
+				return fmt.Errorf("run report: serving endpoint %s: unordered quantiles %v/%v/%v",
+					name, ep.LatencyP50Seconds, ep.LatencyP95Seconds, ep.LatencyP99Seconds)
+			}
+			if ep.LatencyMeanSeconds < 0 {
+				return fmt.Errorf("run report: serving endpoint %s: negative mean latency", name)
 			}
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"subcouple/internal/obs"
@@ -13,6 +14,12 @@ import (
 // ErrClosed is returned by Batcher.Apply after Close: the daemon is
 // draining and accepts no new work.
 var ErrClosed = errors.New("serve: batcher closed")
+
+// ErrApplyPanic marks errors recovered from a panic inside the serving hot
+// path (batcher flush backstop). The HTTP layer maps it to 500 — a server
+// fault — where ordinary apply errors are caller problems (400) or
+// retryable drains (503).
+var ErrApplyPanic = errors.New("serve: apply panic")
 
 // DefaultMaxBatch bounds how many requests one flush may coalesce when the
 // Batcher is configured with maxBatch <= 0.
@@ -43,14 +50,28 @@ type Batcher struct {
 	idle    chan struct{} // closed when the collector exits
 	flights sync.WaitGroup
 
+	// depth counts admitted-but-not-yet-completed requests (queued in the
+	// window plus in-flight in a flush). It is the queue-depth signal behind
+	// the shedding /readyz and is maintained with or without metrics.
+	depth atomic.Int64
+
+	// Live metrics handles (nil without SetMetrics; all nil-safe).
+	mDepth   *obs.Gauge
+	mBatch   *obs.Histogram
+	mWait    *obs.Histogram
+	mFlushes *obs.Counter
+
 	mu     sync.RWMutex // guards closed and the send into reqs
 	closed bool
 }
 
 // applyReq is one enqueued apply: x in, dst out, done fired on completion.
+// enq stamps admission so the flush can observe how long coalescing held
+// the request.
 type applyReq struct {
 	x, dst      []float64
 	thresholded bool
+	enq         time.Time
 	done        chan error
 }
 
@@ -75,6 +96,19 @@ func NewBatcher(pool *Pool, window time.Duration, maxBatch, workers int, rec *ob
 	return b
 }
 
+// SetMetrics attaches live metrics handles labeled with the registered
+// model name. Call before serving starts; a nil registry leaves everything
+// a no-op.
+func (b *Batcher) SetMetrics(ms *obs.Metrics, name string) {
+	b.mDepth = ms.Gauge(MetricQueueDepth, "applies admitted but not yet completed (window queue + in-flight flushes)", "model", name)
+	b.mBatch = ms.HistogramBuckets(MetricBatchSize, "requests coalesced into one flush", BatchSizeBuckets, "model", name)
+	b.mWait = ms.Histogram(MetricWindowWaitSeconds, "admission-to-flush wait per request (the latency cost of coalescing)", "model", name)
+	b.mFlushes = ms.Counter(MetricBatchFlushes, "batches flushed through the engine pool", "model", name)
+}
+
+// QueueDepth returns the number of admitted-but-incomplete applies.
+func (b *Batcher) QueueDepth() int { return int(b.depth.Load()) }
+
 // Apply computes dst = G·x (Gwt·-based when thresholded) through a coalesced
 // batch, blocking until the batch completes. ctx bounds only admission (the
 // wait for queue space); once admitted a request always runs — graceful
@@ -91,7 +125,7 @@ func (b *Batcher) Apply(ctx context.Context, dst, x []float64, thresholded bool)
 	if thresholded && b.pool.Model().Gwt == nil {
 		return fmt.Errorf("serve: model %q has no thresholded representation", b.pool.Model().Method)
 	}
-	req := &applyReq{x: x, dst: dst, thresholded: thresholded, done: make(chan error, 1)}
+	req := &applyReq{x: x, dst: dst, thresholded: thresholded, enq: time.Now(), done: make(chan error, 1)}
 
 	b.mu.RLock()
 	if b.closed {
@@ -100,6 +134,10 @@ func (b *Batcher) Apply(ctx context.Context, dst, x []float64, thresholded bool)
 	}
 	select {
 	case b.reqs <- req:
+		// Admitted: the request now counts toward queue depth until its
+		// flush completes — shutdown drains admitted work, so depth also
+		// covers the drain window.
+		b.mDepth.Set(b.depth.Add(1))
 		b.mu.RUnlock()
 	case <-ctx.Done():
 		b.mu.RUnlock()
@@ -218,7 +256,7 @@ func (b *Batcher) flush(batch []*applyReq) {
 	err := func() (err error) {
 		defer func() {
 			if r := recover(); r != nil {
-				err = fmt.Errorf("serve: apply panic: %v", r)
+				err = fmt.Errorf("%w: %v", ErrApplyPanic, r)
 			}
 		}()
 		eng, err := b.pool.Get(context.Background())
@@ -228,6 +266,12 @@ func (b *Batcher) flush(batch []*applyReq) {
 		defer b.pool.Put(eng)
 		b.rec.Add("serve/batches", 1)
 		b.rec.Observe("serve/batch_size", float64(len(batch)))
+		b.mFlushes.Inc()
+		b.mBatch.Observe(float64(len(batch)))
+		now := time.Now()
+		for _, r := range batch {
+			b.mWait.Observe(now.Sub(r.enq).Seconds())
+		}
 		sp := b.tr.Begin("serve/flush").Arg("cols", len(batch))
 		defer sp.End()
 		if len(batch) == 1 {
@@ -257,6 +301,7 @@ func (b *Batcher) flush(batch []*applyReq) {
 		}
 		return nil
 	}()
+	b.mDepth.Set(b.depth.Add(-int64(len(batch))))
 	for _, r := range batch {
 		r.done <- err
 	}

@@ -21,6 +21,29 @@ import (
 	"subcouple/internal/obs"
 )
 
+// Prometheus metric family names exposed by GET /metrics. Exported so the
+// CI scrape check, cmd/benchreport and tests grep/read the same spellings
+// the server registers.
+const (
+	// Per-endpoint HTTP telemetry, labeled {endpoint, code} / {endpoint}.
+	MetricHTTPRequests   = "subserve_http_requests_total"
+	MetricLatencySeconds = "subserve_http_request_seconds"
+	// Batcher telemetry, labeled {model}.
+	MetricQueueDepth        = "subserve_batch_queue_depth"
+	MetricBatchSize         = "subserve_batch_size"
+	MetricWindowWaitSeconds = "subserve_batch_window_wait_seconds"
+	MetricBatchFlushes      = "subserve_batch_flushes_total"
+	// Pool telemetry, labeled {model}.
+	MetricPoolInUse       = "subserve_pool_in_use"
+	MetricPoolWaitSeconds = "subserve_pool_wait_seconds"
+	MetricPoolTimeouts    = "subserve_pool_timeouts_total"
+)
+
+// BatchSizeBuckets is the coalesced-batch-size histogram ladder: batches are
+// small integers bounded by MaxBatch, so powers of two resolve them exactly
+// where the latency ladder would lump everything into its first bucket.
+var BatchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
 // Options configures a Server. The zero value is usable: NumCPU engines per
 // model, immediate flushes, DefaultMaxBatch, no per-request timeout.
 type Options struct {
@@ -50,6 +73,17 @@ type Options struct {
 	// Recorder and Tracer receive serving telemetry; both may be nil.
 	Recorder *obs.Recorder
 	Tracer   *obs.Tracer
+	// Metrics is the live registry behind GET /metrics. When nil the
+	// endpoint is not routed and every instrumentation site degrades to a
+	// no-op (the obs handles are nil-safe), so metrics-off serving runs the
+	// same code path.
+	Metrics *obs.Metrics
+	// ShedThreshold makes /readyz queue-depth-aware: when > 0 and the total
+	// batcher queue depth (admitted-but-incomplete applies across all
+	// models) exceeds it, /readyz reports 503 so load balancers route
+	// around the saturated daemon. 0 disables shedding. Applies themselves
+	// are never refused — only readiness sheds.
+	ShedThreshold int
 }
 
 // servedModel is one registry entry: the decoded model plus its serving
@@ -75,13 +109,82 @@ type Server struct {
 	names  []string // sorted registry order
 	models map[string]*servedModel
 
+	// endpoints holds per-endpoint telemetry handles, created once per
+	// endpoint name so repeated Handler() calls reuse the same series.
+	endpoints map[string]*endpointMetrics
+
 	ready    atomic.Bool
 	draining atomic.Bool
 }
 
 // New returns an empty registry server.
 func New(opt Options) *Server {
-	return &Server{opt: opt, models: map[string]*servedModel{}}
+	return &Server{opt: opt, models: map[string]*servedModel{}, endpoints: map[string]*endpointMetrics{}}
+}
+
+// endpointMetrics is one endpoint's pre-resolved telemetry: a latency
+// histogram plus one counter per status class, with the matching recorder
+// keys precomputed so the per-request path does no string concatenation.
+type endpointMetrics struct {
+	name    string
+	latency *obs.Histogram
+	classes [4]*obs.Counter // index = status/100 - 2 (2xx..5xx)
+	recReq  string          // "serve/req_<name>"
+	recLat  string          // "serve/latency_us_<name>"
+	recCls  [4]string       // "serve/<name>/2xx" .. "serve/<name>/5xx"
+}
+
+// statusClasses spells the label values for endpointMetrics.classes.
+var statusClasses = [4]string{"2xx", "3xx", "4xx", "5xx"}
+
+// endpoint returns (building on first use) the telemetry handles for name.
+// With no Metrics registry the obs handles stay nil — every record is then
+// a no-op — but the recorder keys are still precomputed.
+func (s *Server) endpoint(name string) *endpointMetrics {
+	if em, ok := s.endpoints[name]; ok {
+		return em
+	}
+	em := &endpointMetrics{
+		name:   name,
+		recReq: "serve/req_" + name,
+		recLat: "serve/latency_us_" + name,
+	}
+	for i, class := range statusClasses {
+		em.recCls[i] = "serve/" + name + "/" + class
+	}
+	if ms := s.opt.Metrics; ms != nil {
+		em.latency = ms.Histogram(MetricLatencySeconds, "request latency by endpoint, handler entry to last byte", "endpoint", name)
+		for i, class := range statusClasses {
+			em.classes[i] = ms.Counter(MetricHTTPRequests, "requests by endpoint and status class", "endpoint", name, "code", class)
+		}
+	}
+	s.endpoints[name] = em
+	return em
+}
+
+// classIndex maps an HTTP status to the endpointMetrics.classes slot,
+// clamping anything exotic into 2xx/5xx.
+func classIndex(status int) int {
+	i := status/100 - 2
+	if i < 0 {
+		i = 0
+	}
+	if i > 3 {
+		i = 3
+	}
+	return i
+}
+
+// statusWriter captures the status code a handler wrote (200 when the
+// handler never calls WriteHeader explicitly).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
 }
 
 // AddModel registers m under name, building its engine pool and batcher.
@@ -104,6 +207,10 @@ func (s *Server) AddModel(name string, m *model.Model) error {
 		m:       m,
 		pool:    pool,
 		batcher: NewBatcher(pool, s.opt.Window, s.opt.MaxBatch, s.opt.Workers, s.opt.Recorder, s.opt.Tracer),
+	}
+	if s.opt.Metrics != nil {
+		sm.pool.SetMetrics(s.opt.Metrics, name)
+		sm.batcher.SetMetrics(s.opt.Metrics, name)
 	}
 	if s.opt.Mode == model.ModeExact {
 		// The load-time fingerprint goes through a pool engine, so /models
@@ -177,7 +284,9 @@ func (s *Server) Close() {
 	}
 }
 
-// Handler returns the routed HTTP handler.
+// Handler returns the routed HTTP handler. /metrics is routed only when a
+// registry is configured; it stays scrapeable through the drain so the last
+// requests of a shutting-down daemon are still observable.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
@@ -186,18 +295,55 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/apply", s.instrument("apply", s.handleApply))
 	mux.HandleFunc("/column", s.instrument("column", s.handleColumn))
 	mux.HandleFunc("/fingerprint", s.instrument("fingerprint", s.handleFingerprint))
+	if s.opt.Metrics != nil {
+		mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
+	}
 	return mux
 }
 
-// instrument wraps a handler with the per-endpoint request counter and
-// latency histogram (microseconds; the recorder's power-of-two buckets).
+// QueueDepth returns the total admitted-but-incomplete applies across all
+// model batchers — the signal behind shedding readiness.
+func (s *Server) QueueDepth() int {
+	depth := 0
+	for _, name := range s.names {
+		depth += s.models[name].batcher.QueueDepth()
+	}
+	return depth
+}
+
+// PoolInUse returns the total checked-out engines across all model pools.
+func (s *Server) PoolInUse() int {
+	n := 0
+	for _, name := range s.names {
+		n += s.models[name].pool.InUse()
+	}
+	return n
+}
+
+// instrument wraps a handler with the per-endpoint telemetry: the recorder's
+// request counter and latency histogram (microseconds; power-of-two
+// buckets), the live registry's latency histogram (seconds; the log-spaced
+// ladder), and one counter per status class — so a 400 dimension error and a
+// recovered-panic 500 land in different series instead of one shared
+// "errors" count. Every handle is resolved here, once, keeping the
+// per-request path free of lookups and allocation beyond the statusWriter.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	rec := s.opt.Recorder
+	em := s.endpoint(name)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		rec.Add("serve/req_"+name, 1)
-		h(w, r)
-		rec.Observe("serve/latency_us_"+name, float64(time.Since(start).Microseconds()))
+		rec.Add(em.recReq, 1)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		el := time.Since(start)
+		rec.Observe(em.recLat, float64(el.Microseconds()))
+		ci := classIndex(sw.status)
+		rec.Add(em.recCls[ci], 1)
+		// Class before latency: a concurrent ServingStats snapshot then never
+		// sees more latency samples than counted requests (the invariant
+		// ValidateRunReport checks).
+		em.classes[ci].Inc()
+		em.latency.Observe(el.Seconds())
 	}
 }
 
@@ -213,12 +359,52 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	io.WriteString(w, "ok\n")
 }
 
+// readyzResponse is the JSON /readyz body. QueueDepth and PoolInUse are
+// reported on both 200 and 503 so a gateway can watch saturation approach
+// the shed threshold, not just cross it.
+type readyzResponse struct {
+	Ready      bool   `json:"ready"`
+	QueueDepth int    `json:"queueDepth"`
+	PoolInUse  int    `json:"poolInUse"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// handleReadyz reports readiness with live saturation: 503 while unready or
+// draining as before, and — when Options.ShedThreshold > 0 — also while the
+// total batcher queue depth exceeds the threshold. Shedding is advisory
+// back-pressure for load balancers; admitted applies always complete, so
+// readiness recovers as soon as the queue drains.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	if !s.ready.Load() || s.draining.Load() {
-		http.Error(w, "not ready", http.StatusServiceUnavailable)
+	resp := readyzResponse{
+		Ready:      true,
+		QueueDepth: s.QueueDepth(),
+		PoolInUse:  s.PoolInUse(),
+	}
+	switch {
+	case !s.ready.Load():
+		resp.Ready, resp.Reason = false, "not ready"
+	case s.draining.Load():
+		resp.Ready, resp.Reason = false, "draining"
+	case s.opt.ShedThreshold > 0 && resp.QueueDepth > s.opt.ShedThreshold:
+		resp.Ready, resp.Reason = false,
+			fmt.Sprintf("shedding: queue depth %d > threshold %d", resp.QueueDepth, s.opt.ShedThreshold)
+	}
+	if !resp.Ready {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(resp)
 		return
 	}
-	io.WriteString(w, "ready\n")
+	writeJSON(w, resp)
+}
+
+// handleMetrics serves the live registry in Prometheus text exposition
+// format. It is deliberately not gated on draining: the scrape must work
+// until the listener closes so a terminating daemon's final counts are
+// collectable.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.opt.Metrics.WritePrometheus(w)
 }
 
 // modelInfo is one /models row.
@@ -425,7 +611,6 @@ func (s *Server) handleColumn(w http.ResponseWriter, r *http.Request) {
 		}
 		return nil
 	}(); err != nil {
-		s.opt.Recorder.Add("serve/errors", 1)
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
@@ -471,21 +656,59 @@ func (s *Server) handleFingerprint(w http.ResponseWriter, r *http.Request) {
 		fp = eng.Fingerprint(s.opt.Workers)
 		return nil
 	}(); err != nil {
-		s.opt.Recorder.Add("serve/errors", 1)
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	writeJSON(w, map[string]string{"model": sm.name, "fingerprint": fmt.Sprintf("%016x", fp)})
 }
 
+// ServingStats snapshots the live registry into the run report's "serving"
+// block: final queue-depth / pool gauges plus per-endpoint status-class
+// counts and latency quantiles. Returns nil when no registry is configured
+// (the report then simply omits the block).
+func (s *Server) ServingStats() *obs.ServingStats {
+	if s.opt.Metrics == nil {
+		return nil
+	}
+	st := &obs.ServingStats{
+		QueueDepth: s.QueueDepth(),
+		PoolInUse:  s.PoolInUse(),
+		Endpoints:  map[string]obs.ServingEndpointStat{},
+	}
+	for name, em := range s.endpoints {
+		snap := em.latency.Snapshot()
+		ep := obs.ServingEndpointStat{
+			Requests:          map[string]int64{},
+			LatencyCount:      snap.Count,
+			LatencyP50Seconds: snap.Quantile(0.50),
+			LatencyP95Seconds: snap.Quantile(0.95),
+			LatencyP99Seconds: snap.Quantile(0.99),
+		}
+		if snap.Count > 0 {
+			ep.LatencyMeanSeconds = snap.Sum / float64(snap.Count)
+		}
+		for i, class := range statusClasses {
+			if v := em.classes[i].Value(); v > 0 {
+				ep.Requests[class] = v
+			}
+		}
+		st.Endpoints[name] = ep
+	}
+	return st
+}
+
 // applyError maps serving errors to status codes: refusal while draining
-// and pool/admission timeouts are 503 (retryable elsewhere), everything
-// else is a 400-class caller problem.
+// and pool/admission timeouts are 503 (retryable elsewhere), recovered
+// panics on the hot path are 500 (a server fault, not the caller's),
+// everything else is a 400-class caller problem. The per-status-class
+// counters in instrument pick up the split, so client errors can't mask
+// server faults the way the old single serve/errors counter let them.
 func (s *Server) applyError(w http.ResponseWriter, err error) {
-	s.opt.Recorder.Add("serve/errors", 1)
 	switch {
 	case errors.Is(err, ErrClosed), errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, ErrApplyPanic):
+		http.Error(w, err.Error(), http.StatusInternalServerError)
 	default:
 		http.Error(w, err.Error(), http.StatusBadRequest)
 	}
