@@ -391,6 +391,23 @@ func run(out string, short bool, reps int) error {
 	log.Printf("%-16s %8.3gs/op (best of %d), %d solves", serveRow.Name, serveRow.SecondsPerOp, reps, serveRow.Solves)
 	rows = append(rows, serveRow)
 
+	// Hot-swap latency: the same HTTP load while the registry flips the
+	// alias between two versions, pricing what a model rollout costs the
+	// p99. The second version is the wavelet extraction of the same case, so
+	// the flip crosses genuinely different content.
+	resW, err := core.Extract(s, c.Layout, core.Options{
+		Method: core.Wavelet, MaxLevel: c.MaxLevel,
+	})
+	if err != nil {
+		return err
+	}
+	swapRow, err := timeHotSwap(res.Model(), resW.Model(), reps)
+	if err != nil {
+		return err
+	}
+	log.Printf("%-16s %8.3gs/op (best of %d), p99 %.3gs across swaps", swapRow.Name, swapRow.SecondsPerOp, reps, swapRow.P99Seconds)
+	rows = append(rows, swapRow)
+
 	doc := benchFile{
 		Schema:     benchSchema,
 		GoVersion:  runtime.Version(),
@@ -590,6 +607,122 @@ func timeServe(res *core.Result, reps int) (benchRow, error) {
 	for r := 0; r < reps; r++ {
 		start := time.Now()
 		if err := oneRound(); err != nil {
+			return benchRow{}, err
+		}
+		perOp := time.Since(start).Seconds() / (clients * itersPerClient)
+		total += perOp
+		if r == 0 || perOp < row.SecondsPerOp {
+			row.SecondsPerOp = perOp
+		}
+	}
+	row.MeanSeconds = total / float64(reps)
+	win := applyLat.Snapshot().Sub(warm)
+	row.P50Seconds = win.Quantile(0.50)
+	row.P99Seconds = win.Quantile(0.99)
+	return row, nil
+}
+
+// timeHotSwap benchmarks /apply latency across hot swaps: the same
+// 8-client raw-apply load as timeServe, but with a swapper goroutine
+// flipping the serving alias between two model versions throughout every
+// timed round. Per-op time and the p50/p99 quantiles therefore include
+// requests that landed mid-flip — the handler's displacement retry and the
+// registry's build-then-flip-then-drain sequence are what is being priced.
+// The row's quantiles come from the same live histogram GET /metrics
+// exposes, windowed past the no-swap warm-up round.
+func timeHotSwap(mA, mB *model.Model, reps int) (benchRow, error) {
+	ms := obs.NewMetrics()
+	srv := serve.New(serve.Options{Window: 200 * time.Microsecond, Metrics: ms})
+	if err := srv.AddModel("bench", mA); err != nil {
+		return benchRow{}, err
+	}
+	reg := srv.Registry()
+	fpB, _, err := reg.Load(mB)
+	if err != nil {
+		return benchRow{}, err
+	}
+	fpA, _ := srv.Fingerprint("bench")
+	srv.SetReady(true)
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	n := mA.N
+	if mB.N != n {
+		return benchRow{}, fmt.Errorf("hot-swap bench: models disagree on contacts (%d vs %d)", n, mB.N)
+	}
+	body := make([]byte, 8*n)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(body[8*i:], math.Float64bits(float64(i%13)-6))
+	}
+	const clients = 8
+	const itersPerClient = 25
+	oneRound := func() error {
+		var wg sync.WaitGroup
+		errCh := make(chan error, clients)
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < itersPerClient; i++ {
+					resp, err := http.Post(ts.URL+"/apply", "application/octet-stream", bytes.NewReader(body))
+					if err != nil {
+						errCh <- err
+						return
+					}
+					out, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						errCh <- fmt.Errorf("hot-swap apply: status %d: %s", resp.StatusCode, out)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		select {
+		case err := <-errCh:
+			return err
+		default:
+			return nil
+		}
+	}
+	if err := oneRound(); err != nil { // warm connections, pool, and scratch
+		return benchRow{}, err
+	}
+	applyLat := ms.Histogram(serve.MetricLatencySeconds, "", "endpoint", "apply")
+	warm := applyLat.Snapshot()
+
+	row := benchRow{Name: "HotSwap", Method: mA.Method + "<->" + mB.Method, Workers: clients, Reps: reps}
+	var total float64
+	fps := [2]uint64{fpB, fpA}
+	for r := 0; r < reps; r++ {
+		// Swapper: flip the alias for the whole round, with a short pause so
+		// applies land before, during and after each flip.
+		stop := make(chan struct{})
+		swapErr := make(chan error, 1)
+		go func() {
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					swapErr <- nil
+					return
+				default:
+				}
+				if _, err := reg.Swap("bench", fps[i%2]); err != nil {
+					swapErr <- err
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}()
+		start := time.Now()
+		err := oneRound()
+		close(stop)
+		if serr := <-swapErr; err == nil {
+			err = serr
+		}
+		if err != nil {
 			return benchRow{}, err
 		}
 		perOp := time.Since(start).Seconds() / (clients * itersPerClient)

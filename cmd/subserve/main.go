@@ -10,7 +10,10 @@
 // float64-LE), /column, /fingerprint, /metrics (Prometheus text exposition
 // of the live registry; disable with -metrics=false), plus /debug/vars
 // (live expvar snapshots of the recorder and the metrics registry) and
-// /debug/pprof.
+// /debug/pprof. With -admin, the loopback-only lifecycle API (POST
+// /admin/models, POST /admin/swap, DELETE /admin/models/{fp}) enables hot
+// load/swap/unload by content fingerprint; -watch dir polls a directory
+// and hot-loads new .scm artifacts automatically.
 //
 // Usage examples:
 //
@@ -71,18 +74,21 @@ func run(args []string, out io.Writer) error {
 	var modelPaths multiFlag
 	fs.Var(&modelPaths, "model", "model artifact (.scm, from subx -save) to serve; repeatable (positional args work too)")
 	var (
-		addr     = fs.String("addr", ":8080", "HTTP listen address")
-		poolSize = fs.Int("pool", 0, "engines per model = per-model concurrency limit (0 = all CPUs)")
-		window   = fs.Duration("window", 500*time.Microsecond, "micro-batch coalescing window (0 = flush immediately)")
-		maxBatch = fs.Int("maxbatch", serve.DefaultMaxBatch, "max apply requests fused into one batched engine call")
-		workers  = fs.Int("workers", 0, "engine workers per batched apply (0 = all CPUs); responses are identical for any value")
-		timeout  = fs.Duration("timeout", 10*time.Second, "per-request admission/pool-wait timeout (0 = none)")
-		drainFor = fs.Duration("drain", 30*time.Second, "graceful-shutdown bound for draining in-flight requests")
-		report   = fs.String("report", "", "write a JSON run report (request counters, latency/batch histograms) here on shutdown")
-		modeName = fs.String("mode", "exact", "serving kernels: exact (bitwise float64), dense (precomputed dense G), or float32/f32 (reduced precision; /fingerprint is refused outside exact)")
-		denseBud = fs.Int("densebudget", 0, "with -mode dense: materialization cap in total float64 entries (0 = the built-in default)")
+		addr      = fs.String("addr", ":8080", "HTTP listen address")
+		poolSize  = fs.Int("pool", 0, "engines per model = per-model concurrency limit (0 = all CPUs)")
+		window    = fs.Duration("window", 500*time.Microsecond, "micro-batch coalescing window (0 = flush immediately)")
+		maxBatch  = fs.Int("maxbatch", serve.DefaultMaxBatch, "max apply requests fused into one batched engine call")
+		workers   = fs.Int("workers", 0, "engine workers per batched apply (0 = all CPUs); responses are identical for any value")
+		timeout   = fs.Duration("timeout", 10*time.Second, "per-request admission/pool-wait timeout (0 = none)")
+		drainFor  = fs.Duration("drain", 30*time.Second, "graceful-shutdown bound for draining in-flight requests")
+		report    = fs.String("report", "", "write a JSON run report (request counters, latency/batch histograms) here on shutdown")
+		modeName  = fs.String("mode", "exact", "serving kernels: exact (bitwise float64), dense (precomputed dense G), or float32/f32 (reduced precision; /fingerprint is refused outside exact)")
+		denseBud  = fs.Int("densebudget", 0, "with -mode dense: materialization cap in total float64 entries (0 = the built-in default)")
 		metricsOn = fs.Bool("metrics", true, "expose the live metrics registry on GET /metrics (Prometheus text format) and /debug/vars")
 		shedAt    = fs.Int("shedthreshold", 0, "return 503 from /readyz while total batcher queue depth exceeds this (0 = never shed)")
+		adminOn   = fs.Bool("admin", false, "route the loopback-only lifecycle API: POST /admin/models, POST /admin/swap, DELETE /admin/models/{fp}")
+		watchDir  = fs.String("watch", "", "poll this directory for .scm artifacts and hot-load them by content hash (alias = base file name)")
+		watchIvl  = fs.Duration("watchinterval", 2*time.Second, "poll interval for -watch")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,8 +98,11 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("subserve: %w", err)
 	}
 	modelPaths = append(modelPaths, fs.Args()...)
-	if len(modelPaths) == 0 {
-		return fmt.Errorf("subserve: no model artifacts (pass -model m.scm)")
+	if len(modelPaths) == 0 && *watchDir == "" {
+		return fmt.Errorf("subserve: no model artifacts (pass -model m.scm, or -watch dir)")
+	}
+	if *watchIvl <= 0 {
+		return fmt.Errorf("subserve: -watchinterval must be positive")
 	}
 
 	rec := obs.NewRecorder()
@@ -113,6 +122,7 @@ func run(args []string, out io.Writer) error {
 		DenseBudget:   *denseBud,
 		Metrics:       ms,
 		ShedThreshold: *shedAt,
+		Admin:         *adminOn,
 	})
 	for _, path := range modelPaths {
 		name, err := srv.LoadFile(path)
@@ -123,6 +133,18 @@ func run(args []string, out io.Writer) error {
 		fp, _ := srv.Fingerprint(name)
 		log.Printf("model %s: %s, %d contacts, extracted with %d solves; apply fingerprint %016x",
 			name, m.Method, m.N, m.Solves, fp)
+	}
+
+	// With -watch, scan the directory once synchronously so the daemon
+	// starts with whatever artifacts are already there; the polling loop
+	// (started after the listener binds) picks up later arrivals.
+	var watcher *modelWatcher
+	if *watchDir != "" {
+		watcher = newModelWatcher(srv, *watchDir)
+		watcher.scan()
+	}
+	if len(srv.Names()) == 0 && *watchDir != "" {
+		log.Printf("watch: no artifacts in %s yet; serving empty until one appears", *watchDir)
 	}
 
 	mux := http.NewServeMux()
@@ -150,6 +172,9 @@ func run(args []string, out io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	srv.SetReady(true)
+	if watcher != nil {
+		go watcher.poll(ctx, *watchIvl)
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
 

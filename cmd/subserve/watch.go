@@ -1,0 +1,114 @@
+package main
+
+import (
+	"context"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"subcouple/internal/serve"
+)
+
+// modelWatcher hot-loads .scm artifacts from a directory into the serving
+// registry by content hash: each scan reads files whose (size, modtime)
+// signature changed since the last scan, loads their bytes into the
+// content-addressed store, and swaps the alias named by the base file name
+// onto the new fingerprint. Rewriting a file with identical content is a
+// no-op (the registry keys by fingerprint, and the alias already points at
+// it), so touch-without-change never churns pools.
+type modelWatcher struct {
+	srv  *serve.Server
+	dir  string
+	seen map[string]fileSig
+}
+
+// fileSig is the cheap change detector: re-decode only when size or mtime
+// moved. Artifacts are written whole (subx -save), so a signature change is
+// a content change for any sane producer.
+type fileSig struct {
+	size int64
+	mod  time.Time
+}
+
+func newModelWatcher(srv *serve.Server, dir string) *modelWatcher {
+	return &modelWatcher{srv: srv, dir: dir, seen: map[string]fileSig{}}
+}
+
+// poll rescans until ctx is done (the daemon's signal context, so the
+// watcher stops admitting new models as soon as shutdown begins).
+func (w *modelWatcher) poll(ctx context.Context, interval time.Duration) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			w.scan()
+		}
+	}
+}
+
+// scan is one pass over the directory: load every new or changed artifact
+// and flip its alias. Failures are logged and retried on a later scan once
+// the file's signature changes again (a half-written artifact settles into
+// a decodable state with a new mtime).
+func (w *modelWatcher) scan() {
+	entries, err := os.ReadDir(w.dir)
+	if err != nil {
+		log.Printf("watch %s: %v", w.dir, err)
+		return
+	}
+	reg := w.srv.Registry()
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".scm") {
+			continue
+		}
+		info, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		sig := fileSig{size: info.Size(), mod: info.ModTime()}
+		if prev, ok := w.seen[ent.Name()]; ok && prev == sig {
+			continue
+		}
+		w.seen[ent.Name()] = sig
+
+		path := filepath.Join(w.dir, ent.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			log.Printf("watch: read %s: %v", path, err)
+			continue
+		}
+		fp, created, err := reg.LoadBytes(data)
+		if err != nil {
+			log.Printf("watch: load %s: %v", path, err)
+			continue
+		}
+		alias := strings.TrimSuffix(ent.Name(), filepath.Ext(ent.Name()))
+		if act := reg.Snapshot().Lookup(alias); act != nil && act.Fingerprint() == fp {
+			continue // same content, already serving it
+		}
+		res, err := reg.Swap(alias, fp)
+		if err != nil {
+			log.Printf("watch: swap %s -> %016x: %v", alias, fp, err)
+			if created {
+				// The version never got an alias; don't leave it stranded.
+				_ = reg.Unload(fp)
+				delete(w.seen, ent.Name())
+			}
+			continue
+		}
+		if res.HadPrevious {
+			log.Printf("watch: %s now serves %016x (was %016x, drained in %v)",
+				alias, fp, res.Previous, res.Drain)
+			// Retire the displaced version unless another alias still uses
+			// it (Unload refuses in that case, which is what we want).
+			_ = reg.Unload(res.Previous)
+		} else {
+			log.Printf("watch: %s now serves %016x", alias, fp)
+		}
+	}
+}

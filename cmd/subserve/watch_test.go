@@ -1,0 +1,234 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"subcouple/internal/core"
+	"subcouple/internal/experiments"
+	"subcouple/internal/geom"
+	"subcouple/internal/model"
+	"subcouple/internal/obs"
+	"subcouple/internal/solver"
+)
+
+// buildTestModel extracts the 64-contact example with the given method;
+// lowrank and wavelet give distinct fingerprints over the same contacts.
+func buildTestModel(t *testing.T, method core.Method) *model.Model {
+	t.Helper()
+	raw := geom.AlternatingGrid(32, 32, 8, 8, 1, 3)
+	layout, maxLevel := core.Prepare(raw, 4)
+	g := experiments.SyntheticG(layout)
+	res, err := core.Extract(solver.NewDense(g), layout, core.Options{
+		Method: method, MaxLevel: maxLevel, ThresholdFactor: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Model()
+}
+
+// writeArtifact encodes m at path (atomically: temp file + rename, the way
+// a real producer should drop artifacts into a watched directory).
+func writeArtifact(t *testing.T, path string, m *model.Model) {
+	t.Helper()
+	data, err := model.Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// modelRows fetches and decodes /models.
+func modelRows(t *testing.T, base string) []map[string]any {
+	t.Helper()
+	resp, err := http.Get(base + "/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rows []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// applyBitwise posts one JSON /apply and requires the response bitwise
+// equal to a direct engine over m.
+func applyBitwise(t *testing.T, base string, m *model.Model) {
+	t.Helper()
+	x := make([]float64, m.N)
+	for i := range x {
+		x[i] = float64((i*13+5)%7) - 3
+	}
+	body, _ := json.Marshal(map[string]any{"x": x})
+	resp, err := http.Post(base+"/apply", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/apply: %d: %s", resp.StatusCode, out)
+	}
+	var ar struct {
+		Y []float64 `json:"y"`
+	}
+	if err := json.Unmarshal(out, &ar); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, m.N)
+	model.NewEngine(m).ApplyInto(want, x)
+	for i := range want {
+		if ar.Y[i] != want[i] {
+			t.Fatalf("y[%d] = %v, want %v (not bitwise identical)", i, ar.Y[i], want[i])
+		}
+	}
+}
+
+// TestWatchHotReload runs the daemon with -watch only (no -model): the
+// pre-scan loads the artifact already in the directory, overwriting it with
+// different content hot-swaps the alias by fingerprint, applies stay
+// bitwise faithful to whichever model is current, and the shutdown report
+// carries the registry lifecycle counters.
+func TestWatchHotReload(t *testing.T) {
+	mA := buildTestModel(t, core.LowRank)
+	mB := buildTestModel(t, core.Wavelet)
+	dir := t.TempDir()
+	writeArtifact(t, filepath.Join(dir, "hot.scm"), mA)
+	reportPath := filepath.Join(t.TempDir(), "watch-report.json")
+
+	addrCh := make(chan net.Addr, 1)
+	onListen = func(a net.Addr) { addrCh <- a }
+	defer func() { onListen = nil }()
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run([]string{
+			"-watch", dir, "-watchinterval", "50ms",
+			"-addr", "127.0.0.1:0", "-pool", "1", "-report", reportPath,
+		}, io.Discard)
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-addrCh:
+	case err := <-runErr:
+		t.Fatalf("daemon exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never bound its listener")
+	}
+	base := "http://" + addr.String()
+
+	// The pre-scan loaded the artifact under its base name.
+	rows := modelRows(t, base)
+	if len(rows) != 1 || rows[0]["name"] != "hot" {
+		t.Fatalf("/models after pre-scan: %v", rows)
+	}
+	fpA := rows[0]["fingerprint"].(string)
+	applyBitwise(t, base, mA)
+
+	// Drop different content under the same name: the poller must swap the
+	// alias to the new fingerprint.
+	writeArtifact(t, filepath.Join(dir, "hot.scm"), mB)
+	deadline := time.Now().Add(20 * time.Second)
+	var fpB string
+	for {
+		rows = modelRows(t, base)
+		if len(rows) == 1 && rows[0]["fingerprint"] != fpA {
+			fpB = rows[0]["fingerprint"].(string)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("watcher never swapped: /models still %v", rows)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if fpB == fpA {
+		t.Fatal("fingerprint did not change")
+	}
+	applyBitwise(t, base, mB)
+
+	// The registry metric families are live on /metrics.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"subserve_registry_loads_total 2",
+		"subserve_registry_swaps_total 2",
+		"subserve_registry_aliases 1",
+	} {
+		if !strings.Contains(string(expo), want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	// The displaced version was retired by the watcher (one version left).
+	if !strings.Contains(string(expo), "subserve_registry_versions 1") {
+		t.Errorf("scrape: displaced version not unloaded:\n%s",
+			grepLines(string(expo), "subserve_registry"))
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("SIGTERM exit: %v, want clean nil", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+
+	// The report validates and carries the registry lifecycle block.
+	data, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateRunReport(data, false); err != nil {
+		t.Fatalf("run report invalid: %v", err)
+	}
+	var rep obs.RunReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	reg := rep.Serving.Registry
+	if reg == nil {
+		t.Fatal("report serving block has no registry stats")
+	}
+	if reg.Loads != 2 || reg.Swaps != 2 || reg.Unloads != 1 || reg.Aliases != 1 || reg.Versions != 1 {
+		t.Fatalf("registry stats %+v, want loads=2 swaps=2 unloads=1 aliases=1 versions=1", reg)
+	}
+	if reg.DrainCount != 1 || reg.DrainMeanSeconds < 0 {
+		t.Fatalf("registry drain stats %+v, want one recorded drain", reg)
+	}
+}
+
+// grepLines returns the lines of s containing substr (test-failure context).
+func grepLines(s, substr string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, substr) {
+			fmt.Fprintln(&b, line)
+		}
+	}
+	return b.String()
+}

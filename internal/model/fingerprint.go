@@ -52,3 +52,12 @@ func (e *Engine) Fingerprint(workers int) uint64 {
 	}
 	return h.Sum64()
 }
+
+// FingerprintOf computes the content fingerprint of m on a throwaway
+// exact-mode engine. It is the content address the serving registry keys
+// versions by: callers holding a non-exact serving configuration still need
+// the exact fingerprint, because it identifies the artifact, not the
+// serving kernels.
+func FingerprintOf(m *Model, workers int) uint64 {
+	return NewEngine(m).Fingerprint(workers)
+}

@@ -85,6 +85,21 @@ type ServingEndpointStat struct {
 	LatencyP99Seconds  float64          `json:"latency_p99_seconds"`
 }
 
+// ServingRegistryStat summarizes the model registry's lifecycle over a
+// serving run: how many versions/aliases were live at shutdown and the
+// load/swap/unload event counts, including refused unloads (a version an
+// alias still pointed at) and hot-swap drain timing.
+type ServingRegistryStat struct {
+	Versions         int     `json:"versions"`
+	Aliases          int     `json:"aliases"`
+	Loads            int64   `json:"loads"`
+	Swaps            int64   `json:"swaps"`
+	Unloads          int64   `json:"unloads"`
+	UnloadRefused    int64   `json:"unload_refused"`
+	DrainCount       int64   `json:"drain_count"`
+	DrainMeanSeconds float64 `json:"drain_mean_seconds"`
+}
+
 // ServingStats is the optional "serving" block of a subserve run report: a
 // shutdown-time snapshot of the live metrics registry. QueueDepth and
 // PoolInUse are the final gauge readings (0 after a clean drain — the drain
@@ -95,6 +110,9 @@ type ServingStats struct {
 	QueueDepth int                            `json:"queue_depth"`
 	PoolInUse  int                            `json:"pool_in_use"`
 	Endpoints  map[string]ServingEndpointStat `json:"endpoints"`
+	// Registry is the model-lifecycle summary (nil for pre-registry
+	// reports).
+	Registry *ServingRegistryStat `json:"registry,omitempty"`
 }
 
 // RunReport is the top-level document written by `cmd/subx -report` and
@@ -238,6 +256,27 @@ func validateServing(s *ServingStats) error {
 			if ep.LatencyMeanSeconds < 0 {
 				return fmt.Errorf("run report: serving endpoint %s: negative mean latency", name)
 			}
+		}
+	}
+	if reg := s.Registry; reg != nil {
+		if reg.Versions < 0 || reg.Aliases < 0 {
+			return fmt.Errorf("run report: serving registry gauges negative: versions %d, aliases %d", reg.Versions, reg.Aliases)
+		}
+		for name, v := range map[string]int64{
+			"loads": reg.Loads, "swaps": reg.Swaps, "unloads": reg.Unloads,
+			"unload_refused": reg.UnloadRefused, "drain_count": reg.DrainCount,
+		} {
+			if v < 0 {
+				return fmt.Errorf("run report: serving registry counter %s = %d", name, v)
+			}
+		}
+		if reg.DrainMeanSeconds < 0 {
+			return fmt.Errorf("run report: serving registry negative drain mean")
+		}
+		// An alias can only point at a loaded version, and every load was
+		// counted; a live alias with zero recorded loads is inconsistent.
+		if reg.Aliases > 0 && reg.Loads == 0 {
+			return fmt.Errorf("run report: serving registry has %d aliases but recorded no loads", reg.Aliases)
 		}
 	}
 	return nil

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"time"
+
+	"subcouple/internal/model"
+	"subcouple/internal/obs"
+	"subcouple/internal/serve/registry"
+)
+
+// The engine pool and micro-batcher moved into internal/serve/registry with
+// the layering split (the registry owns serving machinery per alias
+// activation; this package owns only the HTTP surface). The serve-level
+// names stay as aliases so direct users — tests, benchmarks, embedders that
+// predate the split — keep working unchanged.
+
+// Pool is an alias for registry.Pool.
+type Pool = registry.Pool
+
+// Batcher is an alias for registry.Batcher.
+type Batcher = registry.Batcher
+
+// NewPool builds a registry.Pool; see registry.NewPool.
+func NewPool(m *model.Model, size int, opts model.EngineOptions, rec *obs.Recorder, tr *obs.Tracer) (*Pool, error) {
+	return registry.NewPool(m, size, opts, rec, tr)
+}
+
+// NewBatcher starts a registry.Batcher; see registry.NewBatcher.
+func NewBatcher(pool *Pool, window time.Duration, maxBatch, workers int, rec *obs.Recorder, tr *obs.Tracer) *Batcher {
+	return registry.NewBatcher(pool, window, maxBatch, workers, rec, tr)
+}
+
+// Re-exported sentinel errors and limits.
+var (
+	// ErrClosed is returned by Batcher.Apply after Close (server drain or a
+	// hot swap displacing the activation).
+	ErrClosed = registry.ErrClosed
+	// ErrApplyPanic marks errors recovered from a panic on the serving hot
+	// path; the HTTP layer maps it to 500.
+	ErrApplyPanic = registry.ErrApplyPanic
+	// BatchSizeBuckets is the coalesced-batch-size histogram ladder.
+	BatchSizeBuckets = registry.BatchSizeBuckets
+)
+
+// DefaultMaxBatch bounds coalescing when Options.MaxBatch <= 0.
+const DefaultMaxBatch = registry.DefaultMaxBatch
+
+// Re-exported metric family names (see registry for the authoritative
+// definitions; MetricHTTPRequests and MetricLatencySeconds stay in this
+// package's router).
+const (
+	MetricQueueDepth        = registry.MetricQueueDepth
+	MetricBatchSize         = registry.MetricBatchSize
+	MetricWindowWaitSeconds = registry.MetricWindowWaitSeconds
+	MetricBatchFlushes      = registry.MetricBatchFlushes
+	MetricPoolInUse         = registry.MetricPoolInUse
+	MetricPoolWaitSeconds   = registry.MetricPoolWaitSeconds
+	MetricPoolTimeouts      = registry.MetricPoolTimeouts
+
+	MetricRegistryLoads         = registry.MetricRegistryLoads
+	MetricRegistrySwaps         = registry.MetricRegistrySwaps
+	MetricRegistryUnloads       = registry.MetricRegistryUnloads
+	MetricRegistryUnloadRefused = registry.MetricRegistryUnloadRefused
+	MetricRegistryDrainSeconds  = registry.MetricRegistryDrainSeconds
+	MetricRegistryVersions      = registry.MetricRegistryVersions
+	MetricRegistryAliases       = registry.MetricRegistryAliases
+)

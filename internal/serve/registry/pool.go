@@ -1,24 +1,4 @@
-// Package serve is the model-serving layer behind cmd/subserve: it loads
-// .scm model artifacts (internal/model) into a registry and serves G·x
-// applies over HTTP. The expensive O(log n)-solve extraction happened
-// offline; serving amortizes it across many cheap applies, so the layer is
-// built around two pieces:
-//
-//   - Pool: a fixed-size checkout pool of model.Engine instances over one
-//     shared immutable Model. An Engine is single-threaded (its scratch
-//     buffers carry per-call state), so concurrent handlers check an engine
-//     out, apply, and return it; the pool size is the per-model concurrency
-//     limit.
-//   - Batcher: request micro-batching. Concurrent apply requests landing
-//     within a small coalescing window are packed into one column-major
-//     panel and fused into a single multi-RHS Engine.ApplyPanelInto call.
-//     Column-wise the panel kernels run exactly the single-RHS arithmetic,
-//     so coalescing never changes response bytes — it only buys throughput.
-//
-// Server (server.go) wires both behind /healthz, /readyz, /models, /apply,
-// /column and /fingerprint endpoints with strict dimension validation,
-// per-request timeouts and internal/obs instrumentation.
-package serve
+package registry
 
 import (
 	"context"

@@ -1,51 +1,27 @@
+// Package serve is the HTTP face of the model registry. The package is
+// layered: internal/serve/registry owns model lifecycle (content-addressed
+// versions, alias activations, hot swap with drain) and the serving
+// machinery (engine pools, micro-batchers); this package owns the HTTP
+// surface — routing, codecs, per-endpoint instrumentation, readiness — and
+// resolves every request through an immutable registry snapshot.
 package serve
 
 import (
-	"context"
-	"encoding/binary"
-	"encoding/json"
-	"errors"
 	"fmt"
-	"io"
-	"math"
-	"net/http"
 	"os"
 	"path/filepath"
-	"sort"
-	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"subcouple/internal/model"
 	"subcouple/internal/obs"
+	"subcouple/internal/serve/registry"
 )
-
-// Prometheus metric family names exposed by GET /metrics. Exported so the
-// CI scrape check, cmd/benchreport and tests grep/read the same spellings
-// the server registers.
-const (
-	// Per-endpoint HTTP telemetry, labeled {endpoint, code} / {endpoint}.
-	MetricHTTPRequests   = "subserve_http_requests_total"
-	MetricLatencySeconds = "subserve_http_request_seconds"
-	// Batcher telemetry, labeled {model}.
-	MetricQueueDepth        = "subserve_batch_queue_depth"
-	MetricBatchSize         = "subserve_batch_size"
-	MetricWindowWaitSeconds = "subserve_batch_window_wait_seconds"
-	MetricBatchFlushes      = "subserve_batch_flushes_total"
-	// Pool telemetry, labeled {model}.
-	MetricPoolInUse       = "subserve_pool_in_use"
-	MetricPoolWaitSeconds = "subserve_pool_wait_seconds"
-	MetricPoolTimeouts    = "subserve_pool_timeouts_total"
-)
-
-// BatchSizeBuckets is the coalesced-batch-size histogram ladder: batches are
-// small integers bounded by MaxBatch, so powers of two resolve them exactly
-// where the latency ladder would lump everything into its first bucket.
-var BatchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 
 // Options configures a Server. The zero value is usable: NumCPU engines per
-// model, immediate flushes, DefaultMaxBatch, no per-request timeout.
+// model, immediate flushes, DefaultMaxBatch, no per-request timeout, no
+// admin surface.
 type Options struct {
 	// PoolSize is the number of engines (the concurrency limit) per model;
 	// <= 0 selects runtime.NumCPU().
@@ -84,152 +60,91 @@ type Options struct {
 	// around the saturated daemon. 0 disables shedding. Applies themselves
 	// are never refused — only readiness sheds.
 	ShedThreshold int
+	// Admin routes the loopback-only lifecycle surface (POST /admin/models,
+	// POST /admin/swap, DELETE /admin/models/{fp}). Off by default: a
+	// daemon that was not asked for hot reload exposes no mutating
+	// endpoints at all.
+	Admin bool
 }
 
-// servedModel is one registry entry: the decoded model plus its serving
-// machinery and the fingerprint computed at load time.
-type servedModel struct {
-	name        string
-	m           *model.Model
-	pool        *Pool
-	batcher     *Batcher
-	fingerprint uint64
-}
+// ErrServerClosed is returned by AddModel/LoadFile (and every other
+// registry mutation) after Close: the daemon is draining and accepts no new
+// models.
+var ErrServerClosed = registry.ErrRegistryClosed
 
-// Server is the HTTP face of the registry. Endpoints:
+// Server is the HTTP layer over the model registry. Endpoints:
 //
-//	GET  /healthz              process liveness (always 200 while up)
-//	GET  /readyz               200 once models are loaded, 503 while draining
-//	GET  /models               JSON metadata for every loaded model
-//	POST /apply                G·x; JSON or raw float64-LE body (see handleApply)
-//	GET  /column               one operator column (?model=&j=&thresholded=&format=)
-//	GET  /fingerprint          deterministic probe-apply hash through the live pool
+//	GET    /healthz              process liveness (always 200 while up)
+//	GET    /readyz               200 once models are loaded, 503 while draining
+//	GET    /models               JSON metadata for every aliased model
+//	POST   /apply                G·x; JSON or raw float64-LE body (see handleApply)
+//	GET    /column               one operator column (?model=&j=&thresholded=&format=)
+//	GET    /fingerprint          deterministic probe-apply hash through the live pool
+//	POST   /admin/models         load an artifact into the content store (Options.Admin)
+//	POST   /admin/swap           point an alias at a loaded version (Options.Admin)
+//	DELETE /admin/models/{fp}    unload an unaliased version (Options.Admin)
+//
+// The server owns no model state: every handler resolves models through an
+// immutable registry snapshot (one atomic pointer load, no lock, no
+// allocation), and all lifecycle — load, swap, unload, drain — lives in
+// *registry.Registry.
 type Server struct {
-	opt    Options
-	names  []string // sorted registry order
-	models map[string]*servedModel
+	opt Options
+	reg *registry.Registry
 
 	// endpoints holds per-endpoint telemetry handles, created once per
-	// endpoint name so repeated Handler() calls reuse the same series.
+	// endpoint name at Handler() time so repeated Handler() calls reuse the
+	// same series.
 	endpoints map[string]*endpointMetrics
 
 	ready    atomic.Bool
 	draining atomic.Bool
 }
 
-// New returns an empty registry server.
+// New returns a server over an empty registry.
 func New(opt Options) *Server {
-	return &Server{opt: opt, models: map[string]*servedModel{}, endpoints: map[string]*endpointMetrics{}}
+	reg := registry.New(registry.Options{
+		PoolSize:    opt.PoolSize,
+		Window:      opt.Window,
+		MaxBatch:    opt.MaxBatch,
+		Workers:     opt.Workers,
+		Mode:        opt.Mode,
+		DenseBudget: opt.DenseBudget,
+		Recorder:    opt.Recorder,
+		Tracer:      opt.Tracer,
+		Metrics:     opt.Metrics,
+	})
+	return &Server{opt: opt, reg: reg, endpoints: map[string]*endpointMetrics{}}
 }
 
-// endpointMetrics is one endpoint's pre-resolved telemetry: a latency
-// histogram plus one counter per status class, with the matching recorder
-// keys precomputed so the per-request path does no string concatenation.
-type endpointMetrics struct {
-	name    string
-	latency *obs.Histogram
-	classes [4]*obs.Counter // index = status/100 - 2 (2xx..5xx)
-	recReq  string          // "serve/req_<name>"
-	recLat  string          // "serve/latency_us_<name>"
-	recCls  [4]string       // "serve/<name>/2xx" .. "serve/<name>/5xx"
-}
+// Registry exposes the lifecycle layer (cmd/subserve's watch loop drives
+// hot reload through it directly).
+func (s *Server) Registry() *registry.Registry { return s.reg }
 
-// statusClasses spells the label values for endpointMetrics.classes.
-var statusClasses = [4]string{"2xx", "3xx", "4xx", "5xx"}
-
-// endpoint returns (building on first use) the telemetry handles for name.
-// With no Metrics registry the obs handles stay nil — every record is then
-// a no-op — but the recorder keys are still precomputed.
-func (s *Server) endpoint(name string) *endpointMetrics {
-	if em, ok := s.endpoints[name]; ok {
-		return em
-	}
-	em := &endpointMetrics{
-		name:   name,
-		recReq: "serve/req_" + name,
-		recLat: "serve/latency_us_" + name,
-	}
-	for i, class := range statusClasses {
-		em.recCls[i] = "serve/" + name + "/" + class
-	}
-	if ms := s.opt.Metrics; ms != nil {
-		em.latency = ms.Histogram(MetricLatencySeconds, "request latency by endpoint, handler entry to last byte", "endpoint", name)
-		for i, class := range statusClasses {
-			em.classes[i] = ms.Counter(MetricHTTPRequests, "requests by endpoint and status class", "endpoint", name, "code", class)
-		}
-	}
-	s.endpoints[name] = em
-	return em
-}
-
-// classIndex maps an HTTP status to the endpointMetrics.classes slot,
-// clamping anything exotic into 2xx/5xx.
-func classIndex(status int) int {
-	i := status/100 - 2
-	if i < 0 {
-		i = 0
-	}
-	if i > 3 {
-		i = 3
-	}
-	return i
-}
-
-// statusWriter captures the status code a handler wrote (200 when the
-// handler never calls WriteHeader explicitly).
-type statusWriter struct {
-	http.ResponseWriter
-	status int
-}
-
-func (w *statusWriter) WriteHeader(status int) {
-	w.status = status
-	w.ResponseWriter.WriteHeader(status)
-}
-
-// AddModel registers m under name, building its engine pool and batcher.
-// The model must already be validated (model.Decode guarantees it).
+// AddModel loads m into the content store and points alias name at it,
+// building its engine pool and batcher. The model must already be validated
+// (model.Decode guarantees it). After Close it returns ErrServerClosed.
 func (s *Server) AddModel(name string, m *model.Model) error {
 	if name == "" {
 		return fmt.Errorf("serve: empty model name")
 	}
-	if _, ok := s.models[name]; ok {
+	if s.reg.Snapshot().Lookup(name) != nil {
 		return fmt.Errorf("serve: duplicate model name %q", name)
 	}
-	pool, err := NewPool(m, s.opt.PoolSize,
-		model.EngineOptions{Mode: s.opt.Mode, DenseBudget: s.opt.DenseBudget},
-		s.opt.Recorder, s.opt.Tracer)
+	fp, created, err := s.reg.Load(m)
 	if err != nil {
 		return fmt.Errorf("serve: model %q: %w", name, err)
 	}
-	sm := &servedModel{
-		name:    name,
-		m:       m,
-		pool:    pool,
-		batcher: NewBatcher(pool, s.opt.Window, s.opt.MaxBatch, s.opt.Workers, s.opt.Recorder, s.opt.Tracer),
-	}
-	if s.opt.Metrics != nil {
-		sm.pool.SetMetrics(s.opt.Metrics, name)
-		sm.batcher.SetMetrics(s.opt.Metrics, name)
-	}
-	if s.opt.Mode == model.ModeExact {
-		// The load-time fingerprint goes through a pool engine, so /models
-		// reports the hash of the bytes this daemon will actually serve.
-		eng, err := pool.Get(context.Background())
-		if err != nil {
-			return err
+	if _, err := s.reg.Swap(name, fp); err != nil {
+		if created {
+			// The activation build failed (e.g. dense materialization over
+			// budget): drop the version we just loaded so a refused model
+			// does not linger in the store. Best-effort — an alias another
+			// caller raced onto it keeps it alive, which is correct.
+			_ = s.reg.Unload(fp)
 		}
-		sm.fingerprint = eng.Fingerprint(s.opt.Workers)
-		pool.Put(eng)
-	} else {
-		// Non-exact serving kernels change apply rounding, so their probe
-		// hash would match no artifact. The fingerprint still identifies the
-		// loaded artifact: compute it once on a throwaway exact engine.
-		sm.fingerprint = model.NewEngine(m).Fingerprint(s.opt.Workers)
+		return fmt.Errorf("serve: model %q: %w", name, err)
 	}
-	s.models[name] = sm
-	s.names = append(s.names, name)
-	sort.Strings(s.names)
 	return nil
 }
 
@@ -252,420 +167,51 @@ func (s *Server) LoadFile(path string) (string, error) {
 	return name, nil
 }
 
-// Names returns the registered model names in sorted order.
-func (s *Server) Names() []string { return append([]string(nil), s.names...) }
+// Names returns the aliased model names in sorted order.
+func (s *Server) Names() []string {
+	return append([]string(nil), s.reg.Snapshot().Names()...)
+}
 
-// Model returns the registry entry's model, or nil.
+// Model returns the model an alias currently serves, or nil.
 func (s *Server) Model(name string) *model.Model {
-	if sm := s.models[name]; sm != nil {
-		return sm.m
+	if act := s.reg.Snapshot().Lookup(name); act != nil {
+		return act.Model()
 	}
 	return nil
 }
 
-// Fingerprint returns the load-time fingerprint of a registered model.
+// Fingerprint returns the content fingerprint an alias currently serves.
 func (s *Server) Fingerprint(name string) (uint64, bool) {
-	sm := s.models[name]
-	if sm == nil {
+	act := s.reg.Snapshot().Lookup(name)
+	if act == nil {
 		return 0, false
 	}
-	return sm.fingerprint, true
+	return act.Fingerprint(), true
 }
 
 // SetReady flips /readyz; cmd/subserve arms it after the listener is bound.
 func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 
-// Close begins the drain: /readyz starts failing, new applies are refused,
-// and Close blocks until every in-flight batch has completed.
+// Close begins the drain: /readyz starts failing, new applies and registry
+// mutations are refused (mutations with ErrServerClosed), and Close blocks
+// until every in-flight batch has completed.
 func (s *Server) Close() {
 	s.draining.Store(true)
-	for _, name := range s.names {
-		s.models[name].batcher.Close()
-	}
-}
-
-// Handler returns the routed HTTP handler. /metrics is routed only when a
-// registry is configured; it stays scrapeable through the drain so the last
-// requests of a shutting-down daemon are still observable.
-func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
-	mux.HandleFunc("/readyz", s.instrument("readyz", s.handleReadyz))
-	mux.HandleFunc("/models", s.instrument("models", s.handleModels))
-	mux.HandleFunc("/apply", s.instrument("apply", s.handleApply))
-	mux.HandleFunc("/column", s.instrument("column", s.handleColumn))
-	mux.HandleFunc("/fingerprint", s.instrument("fingerprint", s.handleFingerprint))
-	if s.opt.Metrics != nil {
-		mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
-	}
-	return mux
+	s.reg.Close()
 }
 
 // QueueDepth returns the total admitted-but-incomplete applies across all
-// model batchers — the signal behind shedding readiness.
-func (s *Server) QueueDepth() int {
-	depth := 0
-	for _, name := range s.names {
-		depth += s.models[name].batcher.QueueDepth()
-	}
-	return depth
-}
+// alias batchers — the signal behind shedding readiness.
+func (s *Server) QueueDepth() int { return s.reg.Snapshot().QueueDepth() }
 
-// PoolInUse returns the total checked-out engines across all model pools.
-func (s *Server) PoolInUse() int {
-	n := 0
-	for _, name := range s.names {
-		n += s.models[name].pool.InUse()
-	}
-	return n
-}
-
-// instrument wraps a handler with the per-endpoint telemetry: the recorder's
-// request counter and latency histogram (microseconds; power-of-two
-// buckets), the live registry's latency histogram (seconds; the log-spaced
-// ladder), and one counter per status class — so a 400 dimension error and a
-// recovered-panic 500 land in different series instead of one shared
-// "errors" count. Every handle is resolved here, once, keeping the
-// per-request path free of lookups and allocation beyond the statusWriter.
-func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
-	rec := s.opt.Recorder
-	em := s.endpoint(name)
-	return func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		rec.Add(em.recReq, 1)
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		h(sw, r)
-		el := time.Since(start)
-		rec.Observe(em.recLat, float64(el.Microseconds()))
-		ci := classIndex(sw.status)
-		rec.Add(em.recCls[ci], 1)
-		// Class before latency: a concurrent ServingStats snapshot then never
-		// sees more latency samples than counted requests (the invariant
-		// ValidateRunReport checks).
-		em.classes[ci].Inc()
-		em.latency.Observe(el.Seconds())
-	}
-}
-
-// reqCtx applies the per-request timeout.
-func (s *Server) reqCtx(r *http.Request) (context.Context, context.CancelFunc) {
-	if s.opt.Timeout <= 0 {
-		return r.Context(), func() {}
-	}
-	return context.WithTimeout(r.Context(), s.opt.Timeout)
-}
-
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	io.WriteString(w, "ok\n")
-}
-
-// readyzResponse is the JSON /readyz body. QueueDepth and PoolInUse are
-// reported on both 200 and 503 so a gateway can watch saturation approach
-// the shed threshold, not just cross it.
-type readyzResponse struct {
-	Ready      bool   `json:"ready"`
-	QueueDepth int    `json:"queueDepth"`
-	PoolInUse  int    `json:"poolInUse"`
-	Reason     string `json:"reason,omitempty"`
-}
-
-// handleReadyz reports readiness with live saturation: 503 while unready or
-// draining as before, and — when Options.ShedThreshold > 0 — also while the
-// total batcher queue depth exceeds the threshold. Shedding is advisory
-// back-pressure for load balancers; admitted applies always complete, so
-// readiness recovers as soon as the queue drains.
-func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	resp := readyzResponse{
-		Ready:      true,
-		QueueDepth: s.QueueDepth(),
-		PoolInUse:  s.PoolInUse(),
-	}
-	switch {
-	case !s.ready.Load():
-		resp.Ready, resp.Reason = false, "not ready"
-	case s.draining.Load():
-		resp.Ready, resp.Reason = false, "draining"
-	case s.opt.ShedThreshold > 0 && resp.QueueDepth > s.opt.ShedThreshold:
-		resp.Ready, resp.Reason = false,
-			fmt.Sprintf("shedding: queue depth %d > threshold %d", resp.QueueDepth, s.opt.ShedThreshold)
-	}
-	if !resp.Ready {
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusServiceUnavailable)
-		json.NewEncoder(w).Encode(resp)
-		return
-	}
-	writeJSON(w, resp)
-}
-
-// handleMetrics serves the live registry in Prometheus text exposition
-// format. It is deliberately not gated on draining: the scrape must work
-// until the listener closes so a terminating daemon's final counts are
-// collectable.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.opt.Metrics.WritePrometheus(w)
-}
-
-// modelInfo is one /models row.
-type modelInfo struct {
-	Name        string `json:"name"`
-	Method      string `json:"method"`
-	Contacts    int    `json:"contacts"`
-	Solves      int    `json:"solves"`
-	GwNNZ       int    `json:"gw_nnz"`
-	GwtNNZ      int    `json:"gwt_nnz,omitempty"`
-	Thresholded bool   `json:"thresholded"`
-	PoolSize    int    `json:"pool_size"`
-	Mode        string `json:"mode"`
-	Fingerprint string `json:"fingerprint"`
-}
-
-func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
-	infos := make([]modelInfo, 0, len(s.names))
-	for _, name := range s.names {
-		sm := s.models[name]
-		info := modelInfo{
-			Name:        name,
-			Method:      sm.m.Method,
-			Contacts:    sm.m.N,
-			Solves:      sm.m.Solves,
-			GwNNZ:       sm.m.Gw.NNZ(),
-			Thresholded: sm.m.Gwt != nil,
-			PoolSize:    sm.pool.Size(),
-			Mode:        s.opt.Mode.String(),
-			Fingerprint: fmt.Sprintf("%016x", sm.fingerprint),
-		}
-		if sm.m.Gwt != nil {
-			info.GwtNNZ = sm.m.Gwt.NNZ()
-		}
-		infos = append(infos, info)
-	}
-	writeJSON(w, infos)
-}
-
-// lookup resolves the model named in the request (query param or JSON
-// field). With exactly one model loaded the name may be omitted.
-func (s *Server) lookup(w http.ResponseWriter, name string) *servedModel {
-	if name == "" {
-		if len(s.names) == 1 {
-			return s.models[s.names[0]]
-		}
-		http.Error(w, fmt.Sprintf("model name required (loaded: %s)", strings.Join(s.names, ", ")),
-			http.StatusBadRequest)
-		return nil
-	}
-	sm := s.models[name]
-	if sm == nil {
-		http.Error(w, fmt.Sprintf("unknown model %q (loaded: %s)", name, strings.Join(s.names, ", ")),
-			http.StatusNotFound)
-		return nil
-	}
-	return sm
-}
-
-// applyRequest is the JSON /apply body.
-type applyRequest struct {
-	Model       string    `json:"model,omitempty"`
-	X           []float64 `json:"x"`
-	Thresholded bool      `json:"thresholded,omitempty"`
-}
-
-// applyResponse is the JSON /apply and /column reply. encoding/json prints
-// float64s in the shortest form that parses back to the identical bits, so
-// a JSON response round-trips bitwise just like the raw codec.
-type applyResponse struct {
-	Model string    `json:"model"`
-	N     int       `json:"n"`
-	Y     []float64 `json:"y"`
-}
-
-// handleApply computes y = G·x. Two codecs share the endpoint, selected by
-// Content-Type:
-//
-//   - application/json (default): body {"model":..., "x":[...], "thresholded":bool},
-//     reply {"model":..., "n":..., "y":[...]}.
-//   - application/octet-stream: body is exactly 8·N bytes of little-endian
-//     float64; model and thresholded come from ?model= and ?thresholded=1;
-//     the reply is 8·N bytes in the same encoding.
-//
-// x must have exactly the model's contact count; anything else is a 400
-// naming both lengths, checked before the request can reach an engine.
-func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
-		return
-	}
-	raw := strings.HasPrefix(r.Header.Get("Content-Type"), "application/octet-stream")
-
-	var (
-		sm          *servedModel
-		x           []float64
-		thresholded bool
-	)
-	if raw {
-		sm = s.lookup(w, r.URL.Query().Get("model"))
-		if sm == nil {
-			return
-		}
-		thresholded = queryBool(r, "thresholded")
-		var ok bool
-		x, ok = readRawVector(w, r, sm.m.N)
-		if !ok {
-			return
-		}
-	} else {
-		var req applyRequest
-		if !readJSON(w, r, &req) {
-			return
-		}
-		sm = s.lookup(w, req.Model)
-		if sm == nil {
-			return
-		}
-		thresholded = req.Thresholded
-		x = req.X
-	}
-	if len(x) != sm.m.N {
-		http.Error(w, fmt.Sprintf("apply x has length %d, want %d (model %s)", len(x), sm.m.N, sm.name),
-			http.StatusBadRequest)
-		return
-	}
-	if thresholded && sm.m.Gwt == nil {
-		http.Error(w, fmt.Sprintf("model %s has no thresholded representation", sm.name),
-			http.StatusBadRequest)
-		return
-	}
-
-	ctx, cancel := s.reqCtx(r)
-	defer cancel()
-	y := make([]float64, sm.m.N)
-	if err := sm.batcher.Apply(ctx, y, x, thresholded); err != nil {
-		s.applyError(w, err)
-		return
-	}
-	if raw {
-		writeRawVector(w, y)
-		return
-	}
-	writeJSON(w, applyResponse{Model: sm.name, N: sm.m.N, Y: y})
-}
-
-// handleColumn serves one operator column: GET /column?model=&j=&thresholded=1
-// (&format=raw for the binary codec). A column apply is small, so it goes
-// straight through the pool rather than the batcher.
-func (s *Server) handleColumn(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "GET required", http.StatusMethodNotAllowed)
-		return
-	}
-	sm := s.lookup(w, r.URL.Query().Get("model"))
-	if sm == nil {
-		return
-	}
-	j, err := strconv.Atoi(r.URL.Query().Get("j"))
-	if err != nil {
-		http.Error(w, fmt.Sprintf("column index j=%q is not an integer", r.URL.Query().Get("j")),
-			http.StatusBadRequest)
-		return
-	}
-	if j < 0 || j >= sm.m.N {
-		http.Error(w, fmt.Sprintf("column %d out of range [0,%d) (model %s)", j, sm.m.N, sm.name),
-			http.StatusBadRequest)
-		return
-	}
-	thresholded := queryBool(r, "thresholded")
-	if thresholded && sm.m.Gwt == nil {
-		http.Error(w, fmt.Sprintf("model %s has no thresholded representation", sm.name),
-			http.StatusBadRequest)
-		return
-	}
-	if s.draining.Load() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
-		return
-	}
-
-	ctx, cancel := s.reqCtx(r)
-	defer cancel()
-	eng, err := sm.pool.Get(ctx)
-	if err != nil {
-		s.applyError(w, err)
-		return
-	}
-	y := make([]float64, sm.m.N)
-	// The deferred Put keeps a panicking engine from leaking out of the
-	// pool (a leak would shrink the concurrency limit for the rest of the
-	// daemon's life); the recover turns the panic into a 500 instead of a
-	// dropped connection.
-	if err := func() (err error) {
-		defer sm.pool.Put(eng)
-		defer func() {
-			if r := recover(); r != nil {
-				err = fmt.Errorf("column panic: %v", r)
-			}
-		}()
-		if thresholded {
-			eng.ColumnThresholdedInto(y, j)
-		} else {
-			eng.ColumnInto(y, j)
-		}
-		return nil
-	}(); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	if r.URL.Query().Get("format") == "raw" {
-		writeRawVector(w, y)
-		return
-	}
-	writeJSON(w, applyResponse{Model: sm.name, N: sm.m.N, Y: y})
-}
-
-// handleFingerprint recomputes the deterministic probe-apply hash through a
-// live pool engine, so the value reflects the serving path as it is right
-// now (and must equal both the load-time /models value and what
-// `subx -load` prints for the same artifact). It is an exactness check by
-// construction, so non-exact serving modes are refused with 400: their
-// rounding differs and the hash would match no artifact (the load-time
-// exact fingerprint is still available from /models).
-func (s *Server) handleFingerprint(w http.ResponseWriter, r *http.Request) {
-	sm := s.lookup(w, r.URL.Query().Get("model"))
-	if sm == nil {
-		return
-	}
-	if s.opt.Mode != model.ModeExact {
-		http.Error(w, fmt.Sprintf("fingerprint requires exact serving kernels; daemon is in %s mode (see /models for the load-time exact fingerprint)", s.opt.Mode),
-			http.StatusBadRequest)
-		return
-	}
-	ctx, cancel := s.reqCtx(r)
-	defer cancel()
-	eng, err := sm.pool.Get(ctx)
-	if err != nil {
-		s.applyError(w, err)
-		return
-	}
-	var fp uint64
-	if err := func() (err error) {
-		defer sm.pool.Put(eng)
-		defer func() {
-			if r := recover(); r != nil {
-				err = fmt.Errorf("fingerprint panic: %v", r)
-			}
-		}()
-		fp = eng.Fingerprint(s.opt.Workers)
-		return nil
-	}(); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	writeJSON(w, map[string]string{"model": sm.name, "fingerprint": fmt.Sprintf("%016x", fp)})
-}
+// PoolInUse returns the total checked-out engines across all alias pools.
+func (s *Server) PoolInUse() int { return s.reg.Snapshot().PoolInUse() }
 
 // ServingStats snapshots the live registry into the run report's "serving"
-// block: final queue-depth / pool gauges plus per-endpoint status-class
-// counts and latency quantiles. Returns nil when no registry is configured
-// (the report then simply omits the block).
+// block: final queue-depth / pool gauges, per-endpoint status-class counts
+// and latency quantiles, plus the model-registry lifecycle counters.
+// Returns nil when no metrics registry is configured (the report then
+// simply omits the block).
 func (s *Server) ServingStats() *obs.ServingStats {
 	if s.opt.Metrics == nil {
 		return nil
@@ -694,85 +240,16 @@ func (s *Server) ServingStats() *obs.ServingStats {
 		}
 		st.Endpoints[name] = ep
 	}
+	rs := s.reg.Stats()
+	st.Registry = &obs.ServingRegistryStat{
+		Versions:         rs.Versions,
+		Aliases:          rs.Aliases,
+		Loads:            rs.Loads,
+		Swaps:            rs.Swaps,
+		Unloads:          rs.Unloads,
+		UnloadRefused:    rs.UnloadRefused,
+		DrainCount:       rs.DrainCount,
+		DrainMeanSeconds: rs.DrainMeanSeconds,
+	}
 	return st
-}
-
-// applyError maps serving errors to status codes: refusal while draining
-// and pool/admission timeouts are 503 (retryable elsewhere), recovered
-// panics on the hot path are 500 (a server fault, not the caller's),
-// everything else is a 400-class caller problem. The per-status-class
-// counters in instrument pick up the split, so client errors can't mask
-// server faults the way the old single serve/errors counter let them.
-func (s *Server) applyError(w http.ResponseWriter, err error) {
-	switch {
-	case errors.Is(err, ErrClosed), errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
-	case errors.Is(err, ErrApplyPanic):
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	default:
-		http.Error(w, err.Error(), http.StatusBadRequest)
-	}
-}
-
-// readJSON strictly decodes the request body into v (unknown fields and
-// trailing garbage are errors).
-func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		http.Error(w, fmt.Sprintf("bad JSON request: %v", err), http.StatusBadRequest)
-		return false
-	}
-	if dec.More() {
-		http.Error(w, "bad JSON request: trailing data", http.StatusBadRequest)
-		return false
-	}
-	return true
-}
-
-// readRawVector reads the binary codec body: exactly 8·n little-endian
-// float64 bytes.
-func readRawVector(w http.ResponseWriter, r *http.Request, n int) ([]float64, bool) {
-	want := 8 * n
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, int64(want)+1))
-	if err != nil {
-		http.Error(w, fmt.Sprintf("raw body: %v (want exactly %d bytes = %d float64-LE)", err, want, n),
-			http.StatusBadRequest)
-		return nil, false
-	}
-	if len(body) != want {
-		http.Error(w, fmt.Sprintf("raw body has %d bytes, want exactly %d (%d float64-LE)", len(body), want, n),
-			http.StatusBadRequest)
-		return nil, false
-	}
-	x := make([]float64, n)
-	for i := range x {
-		x[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[8*i:]))
-	}
-	return x, true
-}
-
-// writeRawVector writes y as 8·len(y) little-endian float64 bytes.
-func writeRawVector(w http.ResponseWriter, y []float64) {
-	buf := make([]byte, 8*len(y))
-	for i, v := range y {
-		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
-	}
-	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("Content-Length", strconv.Itoa(len(buf)))
-	w.Write(buf)
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.Encode(v)
-}
-
-func queryBool(r *http.Request, key string) bool {
-	switch strings.ToLower(r.URL.Query().Get(key)) {
-	case "1", "true", "yes", "on":
-		return true
-	}
-	return false
 }

@@ -85,9 +85,18 @@ func TestMulPanelValidates(t *testing.T) {
 		{"short x", func() { m.MulPanelInto(y, x[:3], 2) }},
 		{"short y", func() { m.MulPanelInto(y[:5], x, 2) }},
 		{"zero k", func() { m.MulPanelInto(y[:0], x[:0], 0) }},
-		{"alias", func() { sq := FromTriplets(2, 2, []Triplet{{0, 1, 1}}); p := make([]float64, 4); _ = sq; sq.MulPanelInto(p, p, 2) }},
+		{"alias", func() {
+			sq := FromTriplets(2, 2, []Triplet{{0, 1, 1}})
+			p := make([]float64, 4)
+			_ = sq
+			sq.MulPanelInto(p, p, 2)
+		}},
 		{"T short x", func() { m.MulPanelTInto(x, y[:4], 2) }},
-		{"T alias", func() { sq := FromTriplets(2, 2, []Triplet{{1, 0, 3}}); p := make([]float64, 4); sq.MulPanelTInto(p, p, 2) }},
+		{"T alias", func() {
+			sq := FromTriplets(2, 2, []Triplet{{1, 0, 3}})
+			p := make([]float64, 4)
+			sq.MulPanelTInto(p, p, 2)
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
