@@ -56,6 +56,7 @@ import (
 
 	"subcouple/internal/core"
 	"subcouple/internal/experiments"
+	"subcouple/internal/gateway"
 	"subcouple/internal/geom"
 	"subcouple/internal/metrics"
 	"subcouple/internal/model"
@@ -391,6 +392,16 @@ func run(out string, short bool, reps int) error {
 	log.Printf("%-16s %8.3gs/op (best of %d), %d solves", serveRow.Name, serveRow.SecondsPerOp, reps, serveRow.Solves)
 	rows = append(rows, serveRow)
 
+	// Fleet-gateway overhead: the same 8-client raw-apply load, but through
+	// subgate's proxy sharding across two replicas — pricing the extra hop
+	// (body buffering, power-of-two-choices pick, relay) against ServeApply.
+	gateRow, err := timeGateway(res, reps)
+	if err != nil {
+		return err
+	}
+	log.Printf("%-16s %8.3gs/op (best of %d), %d solves", gateRow.Name, gateRow.SecondsPerOp, reps, gateRow.Solves)
+	rows = append(rows, gateRow)
+
 	// Hot-swap latency: the same HTTP load while the registry flips the
 	// alias between two versions, pricing what a model rollout costs the
 	// p99. The second version is the wavelet extraction of the same case, so
@@ -603,6 +614,101 @@ func timeServe(res *core.Result, reps int) (benchRow, error) {
 	applyLat := ms.Histogram(serve.MetricLatencySeconds, "", "endpoint", "apply")
 	warm := applyLat.Snapshot()
 	row := benchRow{Name: "ServeApply", Method: res.Method.String(), Workers: clients, Reps: reps}
+	var total float64
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		if err := oneRound(); err != nil {
+			return benchRow{}, err
+		}
+		perOp := time.Since(start).Seconds() / (clients * itersPerClient)
+		total += perOp
+		if r == 0 || perOp < row.SecondsPerOp {
+			row.SecondsPerOp = perOp
+		}
+	}
+	row.MeanSeconds = total / float64(reps)
+	win := applyLat.Snapshot().Sub(warm)
+	row.P50Seconds = win.Quantile(0.50)
+	row.P99Seconds = win.Quantile(0.99)
+	return row, nil
+}
+
+// timeGateway benchmarks the fleet path end to end: two serve.Server
+// replicas of the same model behind an internal/gateway proxy (the stack
+// cmd/subgate runs), driven by the same 8-client raw-apply load as
+// timeServe. One op is one gatewayed apply, so GatewayApply − ServeApply is
+// the price of the hop: request buffering, the p2c pick, the proxied
+// round-trip, and the full-response relay. Quantiles come from the
+// gateway's own latency histogram, windowed past the warm-up round.
+func timeGateway(res *core.Result, reps int) (benchRow, error) {
+	const replicas = 2
+	backends := make([]gateway.Backend, 0, replicas)
+	for i := 0; i < replicas; i++ {
+		srv := serve.New(serve.Options{Window: 200 * time.Microsecond})
+		if err := srv.AddModel("bench", res.Model()); err != nil {
+			return benchRow{}, err
+		}
+		srv.SetReady(true)
+		defer srv.Close()
+		rts := httptest.NewServer(srv.Handler())
+		defer rts.Close()
+		backends = append(backends, gateway.Backend{
+			Alias: "bench", Addr: strings.TrimPrefix(rts.URL, "http://"),
+		})
+	}
+	ms := obs.NewMetrics()
+	gw, err := gateway.New(backends, gateway.Options{Metrics: ms})
+	if err != nil {
+		return benchRow{}, err
+	}
+	defer gw.Close()
+	gw.ProbeOnce()
+	ts := httptest.NewServer(gw.Handler())
+	defer ts.Close()
+
+	n := res.N()
+	body := make([]byte, 8*n)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(body[8*i:], math.Float64bits(float64(i%13)-6))
+	}
+	const clients = 8
+	const itersPerClient = 25
+	oneRound := func() error {
+		var wg sync.WaitGroup
+		errCh := make(chan error, clients)
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < itersPerClient; i++ {
+					resp, err := http.Post(ts.URL+"/apply", "application/octet-stream", bytes.NewReader(body))
+					if err != nil {
+						errCh <- err
+						return
+					}
+					out, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						errCh <- fmt.Errorf("gateway apply: status %d: %s", resp.StatusCode, out)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		select {
+		case err := <-errCh:
+			return err
+		default:
+			return nil
+		}
+	}
+	if err := oneRound(); err != nil { // warm connections, replica pools, scratch
+		return benchRow{}, err
+	}
+	applyLat := ms.Histogram(gateway.MetricLatencySeconds, "", "endpoint", "apply")
+	warm := applyLat.Snapshot()
+	row := benchRow{Name: "GatewayApply", Method: res.Method.String(), Workers: clients, Reps: reps}
 	var total float64
 	for r := 0; r < reps; r++ {
 		start := time.Now()

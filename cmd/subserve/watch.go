@@ -52,9 +52,14 @@ func (w *modelWatcher) poll(ctx context.Context, interval time.Duration) {
 }
 
 // scan is one pass over the directory: load every new or changed artifact
-// and flip its alias. Failures are logged and retried on a later scan once
-// the file's signature changes again (a half-written artifact settles into
-// a decodable state with a new mtime).
+// and flip its alias. A file's signature is recorded in seen only once its
+// content has been loaded and its alias points at it — never before — so a
+// transient read or decode failure on a fully-written artifact (whose size
+// and mtime will not change again) is retried on every later scan instead of
+// being silently skipped forever. Names that vanished from the directory are
+// pruned from seen, so the map cannot grow without bound and a file deleted
+// then re-created with an identical (size, mtime) signature is re-processed
+// rather than mistaken for the old, already-seen content.
 func (w *modelWatcher) scan() {
 	entries, err := os.ReadDir(w.dir)
 	if err != nil {
@@ -62,10 +67,12 @@ func (w *modelWatcher) scan() {
 		return
 	}
 	reg := w.srv.Registry()
+	present := make(map[string]bool, len(entries))
 	for _, ent := range entries {
 		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".scm") {
 			continue
 		}
+		present[ent.Name()] = true
 		info, err := ent.Info()
 		if err != nil {
 			continue
@@ -74,7 +81,6 @@ func (w *modelWatcher) scan() {
 		if prev, ok := w.seen[ent.Name()]; ok && prev == sig {
 			continue
 		}
-		w.seen[ent.Name()] = sig
 
 		path := filepath.Join(w.dir, ent.Name())
 		data, err := os.ReadFile(path)
@@ -89,7 +95,10 @@ func (w *modelWatcher) scan() {
 		}
 		alias := strings.TrimSuffix(ent.Name(), filepath.Ext(ent.Name()))
 		if act := reg.Snapshot().Lookup(alias); act != nil && act.Fingerprint() == fp {
-			continue // same content, already serving it
+			// Same content, already serving it: the goal state holds, so the
+			// signature is safe to record.
+			w.seen[ent.Name()] = sig
+			continue
 		}
 		res, err := reg.Swap(alias, fp)
 		if err != nil {
@@ -97,10 +106,11 @@ func (w *modelWatcher) scan() {
 			if created {
 				// The version never got an alias; don't leave it stranded.
 				_ = reg.Unload(fp)
-				delete(w.seen, ent.Name())
 			}
 			continue
 		}
+		// Only now — content loaded, alias flipped — is the file done with.
+		w.seen[ent.Name()] = sig
 		if res.HadPrevious {
 			log.Printf("watch: %s now serves %016x (was %016x, drained in %v)",
 				alias, fp, res.Previous, res.Drain)
@@ -109,6 +119,11 @@ func (w *modelWatcher) scan() {
 			_ = reg.Unload(res.Previous)
 		} else {
 			log.Printf("watch: %s now serves %016x", alias, fp)
+		}
+	}
+	for name := range w.seen {
+		if !present[name] {
+			delete(w.seen, name)
 		}
 	}
 }

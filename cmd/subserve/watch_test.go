@@ -19,6 +19,7 @@ import (
 	"subcouple/internal/geom"
 	"subcouple/internal/model"
 	"subcouple/internal/obs"
+	"subcouple/internal/serve"
 	"subcouple/internal/solver"
 )
 
@@ -219,6 +220,160 @@ func TestWatchHotReload(t *testing.T) {
 	}
 	if reg.DrainCount != 1 || reg.DrainMeanSeconds < 0 {
 		t.Fatalf("registry drain stats %+v, want one recorded drain", reg)
+	}
+}
+
+// newWatchHarness builds an in-process server + watcher over a temp dir for
+// direct scan() testing (no daemon, no HTTP).
+func newWatchHarness(t *testing.T) (*serve.Server, *modelWatcher, string) {
+	t.Helper()
+	srv := serve.New(serve.Options{PoolSize: 1})
+	t.Cleanup(srv.Close)
+	dir := t.TempDir()
+	return srv, newModelWatcher(srv, dir), dir
+}
+
+// writeFileAt writes data at path and pins its mtime, so successive writes
+// can present the watcher with an identical (size, mtime) signature.
+func writeFileAt(t *testing.T, path string, data []byte, mtime time.Time) {
+	t.Helper()
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(path, mtime, mtime); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWatchRetriesFailedLoadSameSignature is the regression test for the
+// recorded-too-early bug: scan() used to write the file's (size, mtime)
+// signature into seen BEFORE attempting the read/decode, so a transient
+// failure on a fully-written artifact — whose signature never changes again —
+// was never retried and the alias silently never appeared. Here the first
+// scan sees undecodable bytes; the second sees a valid artifact with the
+// exact same size and mtime, and must load it.
+func TestWatchRetriesFailedLoadSameSignature(t *testing.T) {
+	m := buildTestModel(t, core.LowRank)
+	data, err := model.Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, w, dir := newWatchHarness(t)
+	path := filepath.Join(dir, "m.scm")
+	mtime := time.Now().Add(-time.Minute).Truncate(time.Second)
+
+	// First scan: same length, same mtime, but garbage content — decode
+	// fails, and the failure must NOT be remembered as "seen".
+	writeFileAt(t, path, make([]byte, len(data)), mtime)
+	w.scan()
+	if got := srv.Names(); len(got) != 0 {
+		t.Fatalf("garbage artifact produced models: %v", got)
+	}
+
+	// Second scan: valid artifact, bitwise-identical signature. The watcher
+	// must retry the load rather than skip the "unchanged" file.
+	writeFileAt(t, path, data, mtime)
+	w.scan()
+	if got := srv.Names(); len(got) != 1 || got[0] != "m" {
+		t.Fatalf("valid artifact with unchanged signature never loaded: models %v", got)
+	}
+	wantFP := model.FingerprintOf(m, 0)
+	if fp, ok := srv.Fingerprint("m"); !ok || fp != wantFP {
+		t.Fatalf("alias fingerprint %016x, want %016x", fp, wantFP)
+	}
+}
+
+// TestWatchRetriesUnreadableFileSameSignature is the same regression against
+// a read (not decode) failure: the artifact exists but is unreadable on the
+// first scan and readable on the second, with size and mtime untouched.
+// chmod does not defeat root, so the test skips under euid 0 (CI runs
+// unprivileged; the decode variant above covers the same code path
+// everywhere).
+func TestWatchRetriesUnreadableFileSameSignature(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("running as root: chmod 0 cannot make a file unreadable")
+	}
+	m := buildTestModel(t, core.LowRank)
+	data, err := model.Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, w, dir := newWatchHarness(t)
+	path := filepath.Join(dir, "m.scm")
+	mtime := time.Now().Add(-time.Minute).Truncate(time.Second)
+	writeFileAt(t, path, data, mtime)
+	if err := os.Chmod(path, 0o000); err != nil {
+		t.Fatal(err)
+	}
+	w.scan()
+	if got := srv.Names(); len(got) != 0 {
+		t.Fatalf("unreadable artifact produced models: %v", got)
+	}
+	// chmod changes ctime, not mtime or size: the signature is unchanged.
+	if err := os.Chmod(path, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w.scan()
+	if got := srv.Names(); len(got) != 1 || got[0] != "m" {
+		t.Fatalf("artifact readable on second scan never loaded: models %v", got)
+	}
+}
+
+// TestWatchPrunesDeletedFiles is the regression test for the unbounded-seen
+// bug: entries for files deleted from the watch dir were never dropped, so
+// (a) the map grew forever and (b) a file re-created later with an identical
+// (size, mtime) signature was skipped as "unchanged" — even when the
+// registry had long since moved the alias elsewhere. The scenario: an
+// artifact is loaded, the file is deleted, an operator swaps the alias onto
+// different content, and the original file reappears bit-for-bit (same
+// pinned mtime). The watcher must treat it as new work and point the alias
+// back at it.
+func TestWatchPrunesDeletedFiles(t *testing.T) {
+	mA := buildTestModel(t, core.LowRank)
+	mB := buildTestModel(t, core.Wavelet)
+	dataA, err := model.Encode(mA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, w, dir := newWatchHarness(t)
+	path := filepath.Join(dir, "m.scm")
+	mtime := time.Now().Add(-time.Minute).Truncate(time.Second)
+	writeFileAt(t, path, dataA, mtime)
+	w.scan()
+	fpA := model.FingerprintOf(mA, 0)
+	if fp, ok := srv.Fingerprint("m"); !ok || fp != fpA {
+		t.Fatalf("initial load: fingerprint %016x, want %016x", fp, fpA)
+	}
+	if _, ok := w.seen["m.scm"]; !ok {
+		t.Fatal("loaded file not tracked in seen")
+	}
+
+	// The file vanishes; the next scan must prune its seen entry.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	w.scan()
+	if _, ok := w.seen["m.scm"]; ok {
+		t.Fatal("seen entry for deleted file never pruned (unbounded growth)")
+	}
+
+	// Meanwhile the alias moves to different content (operator swap).
+	reg := srv.Registry()
+	fpB, _, err := reg.Load(mB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Swap("m", fpB); err != nil {
+		t.Fatal(err)
+	}
+
+	// The original file reappears with a bitwise-identical signature. A
+	// stale seen entry would skip it as "unchanged"; the pruned watcher must
+	// re-process it and point the alias back at the file's content.
+	writeFileAt(t, path, dataA, mtime)
+	w.scan()
+	if fp, ok := srv.Fingerprint("m"); !ok || fp != fpA {
+		t.Fatalf("re-created file skipped as unchanged: alias at %016x, want %016x", fp, fpA)
 	}
 }
 

@@ -1,0 +1,109 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+)
+
+// TestProbeBackoffSchedule pins the prober's retry shape against a dead
+// backend: the first failure retries after one ProbeInterval, each further
+// failure doubles the wait, and the cap holds — so a replica that dies hard
+// costs O(log) probes, while one that recovers is rediscovered within
+// ProbeBackoffMax.
+func TestProbeBackoffSchedule(t *testing.T) {
+	g, err := New([]Backend{{Alias: "m", Addr: "127.0.0.1:1"}}, Options{
+		ProbeInterval:   100 * time.Millisecond,
+		ProbeTimeout:    200 * time.Millisecond,
+		ProbeBackoffMax: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	r := g.replicas[0]
+
+	now := time.Unix(1000, 0)
+	want := []time.Duration{
+		100 * time.Millisecond, // fail 1
+		200 * time.Millisecond, // fail 2
+		400 * time.Millisecond, // fail 3
+		800 * time.Millisecond, // fail 4
+		time.Second,            // fail 5: capped
+		time.Second,            // stays capped
+	}
+	for i, d := range want {
+		g.probe(r, now)
+		if r.ready.Load() {
+			t.Fatalf("probe %d: dead backend marked ready", i+1)
+		}
+		if got := r.nextProbe.Sub(now); got != d {
+			t.Fatalf("after failure %d: backoff %v, want %v", i+1, got, d)
+		}
+	}
+
+	// A sweep before the backoff window elapses must not probe the replica
+	// again (fails stays put).
+	fails := r.fails
+	g.sweep(now)
+	if r.fails != fails {
+		t.Fatalf("sweep inside backoff window probed the replica (fails %d -> %d)", fails, r.fails)
+	}
+	// Once the window elapses, the sweep probes again.
+	g.sweep(now.Add(2 * time.Second))
+	if r.fails != fails+1 {
+		t.Fatalf("sweep past backoff window did not probe (fails %d -> %d)", fails, r.fails)
+	}
+}
+
+// TestPickPowerOfTwoChoices pins the balancing rule: among ready untried
+// candidates, the less-loaded of two random picks wins, so a replica with a
+// deep in-flight queue is chosen only against itself.
+func TestPickPowerOfTwoChoices(t *testing.T) {
+	idle := &replica{alias: "m", addr: "a:1"}
+	busy := &replica{alias: "m", addr: "b:1"}
+	idle.ready.Store(true)
+	busy.ready.Store(true)
+	busy.inflight.Store(1000)
+
+	reps := []*replica{busy, idle}
+	for i := 0; i < 100; i++ {
+		if got := pick(reps, map[*replica]bool{}); got != idle {
+			t.Fatalf("pick %d chose the replica with 1000 in flight over an idle one", i)
+		}
+	}
+
+	// Tried and unready replicas are excluded even when less loaded.
+	if got := pick(reps, map[*replica]bool{idle: true}); got != busy {
+		t.Fatalf("pick with idle tried: got %v, want busy", got)
+	}
+	idle.ready.Store(false)
+	if got := pick(reps, map[*replica]bool{busy: true}); got != nil {
+		t.Fatalf("pick with busy tried and idle unready: got %v, want nil", got)
+	}
+}
+
+// TestFleetFingerprint pins the disagreement semantics: ignorance (no
+// /models answer yet) is not disagreement, one reporter fixes the fleet
+// value, and two distinct reports flag the blend.
+func TestFleetFingerprint(t *testing.T) {
+	mk := func(fp uint64, valid bool) *replica {
+		r := &replica{}
+		if valid {
+			r.fp.Store(fp)
+			r.fpValid.Store(true)
+		}
+		return r
+	}
+	if _, known, agree := fleetFingerprint([]*replica{mk(0, false), mk(0, false)}); known || !agree {
+		t.Fatalf("all-unknown fleet: known=%v agree=%v, want false/true", known, agree)
+	}
+	if fp, known, agree := fleetFingerprint([]*replica{mk(7, true), mk(0, false)}); !known || !agree || fp != 7 {
+		t.Fatalf("one reporter: fp=%d known=%v agree=%v, want 7/true/true", fp, known, agree)
+	}
+	if _, _, agree := fleetFingerprint([]*replica{mk(7, true), mk(8, true)}); agree {
+		t.Fatal("two distinct fingerprints not flagged as disagreement")
+	}
+	if fp, known, agree := fleetFingerprint([]*replica{mk(7, true), mk(7, true), mk(0, false)}); !known || !agree || fp != 7 {
+		t.Fatalf("agreeing fleet with one unknown: fp=%d known=%v agree=%v, want 7/true/true", fp, known, agree)
+	}
+}

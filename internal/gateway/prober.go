@@ -1,0 +1,205 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"subcouple/internal/serve"
+)
+
+// modelsRow is the slice of a replica's /models response the prober needs:
+// the alias name, its current fingerprint, and the contact count. Lenient
+// decode — subserve rows carry more fields and may grow new ones, and the
+// prober must not mark a fleet unready over a schema addition.
+type modelsRow struct {
+	Name        string `json:"name"`
+	Fingerprint string `json:"fingerprint"`
+	Contacts    int64  `json:"contacts"`
+}
+
+// sweep probes every replica whose backoff window has elapsed, in parallel,
+// then republishes the routing snapshot if any readiness flipped. The
+// per-replica backoff fields are prober-local: only probe goroutines write
+// them, and the WaitGroup orders those writes against the next sweep's reads.
+func (g *Gateway) sweep(now time.Time) {
+	var wg sync.WaitGroup
+	var changed atomic.Bool
+	for _, r := range g.replicas {
+		if now.Before(r.nextProbe) {
+			continue
+		}
+		wg.Add(1)
+		go func(r *replica) {
+			defer wg.Done()
+			if g.probe(r, now) {
+				changed.Store(true)
+			}
+		}(r)
+	}
+	wg.Wait()
+	if changed.Load() {
+		g.publish()
+	}
+}
+
+// ProbeOnce forces a synchronous probe of every replica, backoff windows
+// included, and republishes the snapshot unconditionally. For startup (so
+// the gateway comes up with a populated routing table instead of failing
+// its first ProbeInterval of traffic) and tests. Not safe concurrently with
+// a running prober — call before Start.
+func (g *Gateway) ProbeOnce() {
+	for _, r := range g.replicas {
+		r.nextProbe = time.Time{}
+	}
+	g.sweep(time.Now())
+	g.publish()
+}
+
+// probe checks one replica — shed-aware /readyz, then /models for the
+// alias's fingerprint — and returns whether its readiness flipped. A
+// replica is ready only when /readyz answers 200 AND /models lists the
+// alias this backend was configured for: a daemon that is healthy but not
+// serving the alias cannot take its traffic. Failures (connect error, 503
+// shed, timeout) push the next probe out exponentially from ProbeInterval
+// up to ProbeBackoffMax; successes reset the backoff.
+func (g *Gateway) probe(r *replica, now time.Time) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), g.opt.probeTimeout())
+	defer cancel()
+
+	ok := g.probeReadyz(ctx, r) && g.probeModels(ctx, r)
+
+	if ok {
+		r.fails = 0
+		r.nextProbe = time.Time{} // healthy replicas are probed every tick
+	} else {
+		r.fails++
+		backoff := g.opt.probeInterval() << uint(min(r.fails-1, 16))
+		if max := g.opt.probeBackoffMax(); backoff > max {
+			backoff = max
+		}
+		r.nextProbe = now.Add(backoff)
+	}
+	prev := r.ready.Swap(ok)
+	if ok {
+		r.mReady.Set(1)
+	} else {
+		r.mReady.Set(0)
+	}
+	return prev != ok
+}
+
+func (g *Gateway) probeReadyz(ctx context.Context, r *replica) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return false
+	}
+	drainBody(resp.Body)
+	// Anything but 200 — the shed-aware 503, a 404 from something that is
+	// not a subserve daemon — is unready.
+	return resp.StatusCode == http.StatusOK
+}
+
+// probeModels refreshes the replica's fingerprint for its configured alias
+// from /models. A missing alias row is a hard unready: the replica cannot
+// answer for the alias it was enrolled under. A transport failure here is
+// also unready (the pair of probes stands or falls together), but it leaves
+// the previously learned fingerprint in place — last-known beats unknown
+// for the disagreement check.
+func (g *Gateway) probeModels(ctx context.Context, r *replica) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/models", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer drainBody(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	var rows []modelsRow
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&rows); err != nil {
+		return false
+	}
+	for _, row := range rows {
+		if row.Name != r.alias {
+			continue
+		}
+		fp, err := serve.ParseFingerprint(row.Fingerprint)
+		if err != nil {
+			// A row with a malformed fingerprint is not a subserve daemon
+			// we understand; refuse to route to it.
+			return false
+		}
+		r.fp.Store(fp)
+		r.fpValid.Store(true)
+		r.contacts.Store(row.Contacts)
+		return true
+	}
+	return false
+}
+
+// gatewayModelsRow is one alias's aggregated view on the gateway's own
+// /models: fleet size and readiness, the consistent fingerprint when the
+// replicas agree, and the per-backend breakdown when an operator needs to
+// see who is serving what.
+type gatewayModelsRow struct {
+	Name        string               `json:"name"`
+	Replicas    int                  `json:"replicas"`
+	Ready       int                  `json:"ready"`
+	Fingerprint string               `json:"fingerprint,omitempty"`
+	Consistent  bool                 `json:"consistent"`
+	Contacts    int64                `json:"contacts,omitempty"`
+	Backends    []gatewayBackendView `json:"backends"`
+}
+
+type gatewayBackendView struct {
+	Addr        string `json:"addr"`
+	Ready       bool   `json:"ready"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+}
+
+// modelsRows builds the aggregated /models view from the replicas' cached
+// probe state — no fan-out on the request path.
+func (g *Gateway) modelsRows() []gatewayModelsRow {
+	rows := make([]gatewayModelsRow, 0, len(g.names))
+	for _, alias := range g.names {
+		reps := g.all[alias]
+		row := gatewayModelsRow{Name: alias, Replicas: len(reps)}
+		for _, r := range reps {
+			bv := gatewayBackendView{Addr: r.addr, Ready: r.ready.Load()}
+			if bv.Ready {
+				row.Ready++
+			}
+			if r.fpValid.Load() {
+				bv.Fingerprint = fmt.Sprintf("%016x", r.fp.Load())
+			}
+			// The replicas serve copies of one artifact, so contacts is a
+			// property of the model, not a per-replica quantity to sum —
+			// take it from any replica that has reported one.
+			if c := r.contacts.Load(); c > 0 && row.Contacts == 0 {
+				row.Contacts = c
+			}
+			row.Backends = append(row.Backends, bv)
+		}
+		if fp, known, agree := fleetFingerprint(reps); agree {
+			row.Consistent = true
+			if known {
+				row.Fingerprint = fmt.Sprintf("%016x", fp)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

@@ -246,6 +246,79 @@ func TestValidateServingReport(t *testing.T) {
 	}
 }
 
+// gatewayReport is what cmd/subgate writes after a drain: front-door
+// counters and a gateway block with per-backend routing totals — zero
+// substrate solves, like any serving-path tool.
+func gatewayReport() *RunReport {
+	r := NewRecorder()
+	r.Add("gate/req_apply", 12)
+	r.Observe("gate/latency_us_apply", 300)
+	return &RunReport{
+		Schema:   ReportSchema,
+		Tool:     "subgate",
+		Config:   map[string]any{"addr": ":8390"},
+		Results:  map[string]any{},
+		Obs:      r.Snapshot(),
+		Numerics: r.Numerics(),
+		Gateway: &GatewayStats{
+			Backends: []GatewayBackendStat{
+				{Alias: "m", Addr: "127.0.0.1:8391", Ready: true, Requests: 10},
+				{Alias: "m", Addr: "127.0.0.1:8392", Ready: false, Requests: 2, Failovers: 1},
+			},
+		},
+	}
+}
+
+// TestValidateGatewayReport pins the subgate branch: a gateway report with
+// zero solves and no solver sections is valid, the gateway block is refused
+// on any other tool, and malformed blocks (no backends, duplicate
+// enrollment, negative totals) are rejected.
+func TestValidateGatewayReport(t *testing.T) {
+	rep := gatewayReport()
+	data, err := rep.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateRunReport(data, false); err != nil {
+		t.Fatalf("gateway report rejected: %v", err)
+	}
+
+	wrongTool := gatewayReport()
+	wrongTool.Tool = "subserve"
+	data, _ = wrongTool.MarshalIndent()
+	if err := ValidateRunReport(data, false); err == nil {
+		t.Fatal("subserve report carrying a gateway block accepted")
+	}
+
+	empty := gatewayReport()
+	empty.Gateway.Backends = nil
+	data, _ = empty.MarshalIndent()
+	if err := ValidateRunReport(data, false); err == nil {
+		t.Fatal("gateway block with no backends accepted")
+	}
+
+	dup := gatewayReport()
+	dup.Gateway.Backends[1] = dup.Gateway.Backends[0]
+	data, _ = dup.MarshalIndent()
+	if err := ValidateRunReport(data, false); err == nil {
+		t.Fatal("duplicate backend enrollment accepted")
+	}
+
+	neg := gatewayReport()
+	neg.Gateway.Backends[0].Failovers = -1
+	data, _ = neg.MarshalIndent()
+	if err := ValidateRunReport(data, false); err == nil {
+		t.Fatal("negative failover total accepted")
+	}
+
+	solved := gatewayReport()
+	solved.Obs.Counters["solver/solves"] = 3
+	data, _ = solved.MarshalIndent()
+	if err := ValidateRunReport(data, false); err == nil {
+		t.Fatal("gateway report with substrate solves accepted")
+	}
+}
+
 func TestNumericsAccumulators(t *testing.T) {
 	r := NewRecorder()
 	r.Residual("res", 0.5)

@@ -115,6 +115,26 @@ type ServingStats struct {
 	Registry *ServingRegistryStat `json:"registry,omitempty"`
 }
 
+// GatewayBackendStat is one replica's row in a gateway report: whether it
+// was ready at shutdown and its lifetime proxied-request and failover
+// totals.
+type GatewayBackendStat struct {
+	Alias     string `json:"alias"`
+	Addr      string `json:"addr"`
+	Ready     bool   `json:"ready"`
+	Requests  int64  `json:"requests"`
+	Failovers int64  `json:"failovers"`
+}
+
+// GatewayStats is the optional "gateway" block of a subgate run report: the
+// fleet the gateway fronted, with per-backend routing totals, plus the
+// gateway's own front-door endpoint telemetry in the same shape subserve
+// uses. Only subgate reports may carry this block.
+type GatewayStats struct {
+	Backends  []GatewayBackendStat           `json:"backends"`
+	Endpoints map[string]ServingEndpointStat `json:"endpoints,omitempty"`
+}
+
 // RunReport is the top-level document written by `cmd/subx -report` and
 // `cmd/tables -report`. Config holds the resolved run parameters, Results
 // the end-of-run extraction metrics; both are flat maps so the key set —
@@ -131,6 +151,9 @@ type RunReport struct {
 	// Serving is the live-metrics snapshot of a subserve report; valid only
 	// when Tool == "subserve".
 	Serving *ServingStats `json:"serving,omitempty"`
+	// Gateway is the fleet snapshot of a subgate report; valid only when
+	// Tool == "subgate".
+	Gateway *GatewayStats `json:"gateway,omitempty"`
 }
 
 // MarshalIndent renders the report as stable, human-diffable JSON.
@@ -166,10 +189,11 @@ func ValidateRunReport(data []byte, requireExtraction bool) error {
 	if r.Tool == "" {
 		return fmt.Errorf("run report: missing tool name")
 	}
-	// Serving reports (cmd/subserve) perform zero substrate solves by
-	// design, so the extraction-solver sections are not required of them —
-	// and an idle daemon may legitimately have timed no phases.
-	serving := r.Tool == "subserve"
+	// Serving-path reports (cmd/subserve, cmd/subgate) perform zero
+	// substrate solves by design, so the extraction-solver sections are not
+	// required of them — and an idle daemon may legitimately have timed no
+	// phases.
+	serving := r.Tool == "subserve" || r.Tool == "subgate"
 	if len(r.Obs.Phases) == 0 && !serving {
 		return fmt.Errorf("run report: no phases recorded")
 	}
@@ -212,10 +236,18 @@ func ValidateRunReport(data []byte, requireExtraction bool) error {
 		return fmt.Errorf("run report: v1 document carries a numerics section")
 	}
 	if r.Serving != nil {
-		if !serving {
+		if r.Tool != "subserve" {
 			return fmt.Errorf("run report: tool %q carries a serving block (subserve only)", r.Tool)
 		}
 		if err := validateServing(r.Serving); err != nil {
+			return err
+		}
+	}
+	if r.Gateway != nil {
+		if r.Tool != "subgate" {
+			return fmt.Errorf("run report: tool %q carries a gateway block (subgate only)", r.Tool)
+		}
+		if err := validateGateway(r.Gateway); err != nil {
 			return err
 		}
 	}
@@ -277,6 +309,50 @@ func validateServing(s *ServingStats) error {
 		// counted; a live alias with zero recorded loads is inconsistent.
 		if reg.Aliases > 0 && reg.Loads == 0 {
 			return fmt.Errorf("run report: serving registry has %d aliases but recorded no loads", reg.Aliases)
+		}
+	}
+	return nil
+}
+
+// validateGateway checks a gateway block's internal consistency: at least
+// one backend (a gateway with no fleet cannot have run), unique non-empty
+// (alias, addr) rows with non-negative totals, and endpoint telemetry
+// passing the same ordering checks as a serving block's.
+func validateGateway(g *GatewayStats) error {
+	if len(g.Backends) == 0 {
+		return fmt.Errorf("run report: gateway block with no backends")
+	}
+	seen := map[string]bool{}
+	for _, b := range g.Backends {
+		if b.Alias == "" || b.Addr == "" {
+			return fmt.Errorf("run report: gateway backend with empty alias or addr: %+v", b)
+		}
+		key := b.Alias + "=" + b.Addr
+		if seen[key] {
+			return fmt.Errorf("run report: duplicate gateway backend %s", key)
+		}
+		seen[key] = true
+		if b.Requests < 0 || b.Failovers < 0 {
+			return fmt.Errorf("run report: gateway backend %s has negative totals: %+v", key, b)
+		}
+	}
+	for name, ep := range g.Endpoints {
+		var total int64
+		for class, c := range ep.Requests {
+			if c < 0 {
+				return fmt.Errorf("run report: gateway endpoint %s: negative %s count %d", name, class, c)
+			}
+			total += c
+		}
+		if ep.LatencyCount < 0 || ep.LatencyCount > total {
+			return fmt.Errorf("run report: gateway endpoint %s: latency count %d vs %d requests", name, ep.LatencyCount, total)
+		}
+		if ep.LatencyCount > 0 {
+			if ep.LatencyP50Seconds < 0 || ep.LatencyP50Seconds > ep.LatencyP95Seconds ||
+				ep.LatencyP95Seconds > ep.LatencyP99Seconds {
+				return fmt.Errorf("run report: gateway endpoint %s: unordered quantiles %v/%v/%v",
+					name, ep.LatencyP50Seconds, ep.LatencyP95Seconds, ep.LatencyP99Seconds)
+			}
 		}
 	}
 	return nil

@@ -150,7 +150,7 @@ func (s *Server) handleAdminSwap(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, `admin swap: "alias" required`, http.StatusBadRequest)
 		return
 	}
-	fp, err := parseFingerprint(req.Fingerprint)
+	fp, err := ParseFingerprint(req.Fingerprint)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -175,7 +175,7 @@ func (s *Server) handleAdminSwap(w http.ResponseWriter, r *http.Request) {
 // DELETE /admin/models/{fp}. A version an alias still points at is refused
 // with 409 — swap the alias away first.
 func (s *Server) handleAdminUnload(w http.ResponseWriter, r *http.Request) {
-	fp, err := parseFingerprint(r.PathValue("fp"))
+	fp, err := ParseFingerprint(r.PathValue("fp"))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -187,12 +187,21 @@ func (s *Server) handleAdminUnload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]string{"unloaded": fmt.Sprintf("%016x", fp)})
 }
 
-// parseFingerprint parses the 16-hex-digit content address the rest of the
-// system prints (/models, subx -load, extraction logs).
-func parseFingerprint(sv string) (uint64, error) {
-	fp, err := strconv.ParseUint(strings.TrimSpace(sv), 16, 64)
+// ParseFingerprint parses the 16-hex-digit content address the rest of the
+// system prints (/models, subx -load, extraction logs, the gateway's
+// aggregated /models). Exactly 16 hex digits are required — every producer
+// formats fingerprints with %016x, so anything shorter is a truncated
+// copy-paste that would silently resolve to a different (usually absent,
+// occasionally colliding) key rather than the one the operator meant.
+// Surrounding whitespace is trimmed so shell-captured values round-trip.
+func ParseFingerprint(sv string) (uint64, error) {
+	s := strings.TrimSpace(sv)
+	if len(s) != 16 {
+		return 0, fmt.Errorf("bad fingerprint %q: want exactly 16 hex digits, got %d", sv, len(s))
+	}
+	fp, err := strconv.ParseUint(s, 16, 64)
 	if err != nil {
-		return 0, fmt.Errorf("bad fingerprint %q: want 16 hex digits", sv)
+		return 0, fmt.Errorf("bad fingerprint %q: want exactly 16 hex digits", sv)
 	}
 	return fp, nil
 }

@@ -153,6 +153,59 @@ func TestAdminLifecycleOverHTTP(t *testing.T) {
 	}
 }
 
+// TestParseFingerprint pins the exact-width contract: every producer in the
+// system prints fingerprints with %016x, so the parser accepts exactly 16
+// hex digits (modulo surrounding whitespace) and nothing else. The old
+// parser took any hex string up to 64 bits, so a truncated copy-paste like
+// "dead" resolved to key 0xdead — a confusing 404 at best, a collision with
+// a real short-valued fingerprint at worst.
+func TestParseFingerprint(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint64
+		ok   bool
+	}{
+		{"00000000deadbeef", 0xdeadbeef, true},
+		{"ffffffffffffffff", 0xffffffffffffffff, true},
+		{"0123456789abcdef", 0x0123456789abcdef, true},
+		{"0123456789ABCDEF", 0x0123456789abcdef, true}, // case-insensitive hex
+		{"  00000000deadbeef\n", 0xdeadbeef, true},     // shell-captured values round-trip
+		{"", 0, false},
+		{"   ", 0, false},
+		{"0", 0, false},                  // the old parser accepted this as key 0
+		{"dead", 0, false},               // truncated copy-paste
+		{"00000000deadbee", 0, false},    // 15 digits
+		{"000000000deadbeef", 0, false},  // 17 digits
+		{"0x00000deadbeef1", 0, false},   // hex prefix is not a digit, even at full width
+		{"00000000deadbeeg", 0, false},   // non-hex at full width
+		{"-000000deadbeef1", 0, false},   // sign is not a digit
+		{"0000 0000 dead be", 0, false},  // interior whitespace
+		{"00000000_deadbeef", 0, false},  // go literal separators refused
+	}
+	for _, tc := range cases {
+		got, err := serve.ParseFingerprint(tc.in)
+		if tc.ok {
+			if err != nil || got != tc.want {
+				t.Errorf("ParseFingerprint(%q) = %x, %v; want %x, nil", tc.in, got, err, tc.want)
+			}
+		} else if err == nil {
+			t.Errorf("ParseFingerprint(%q) = %x, nil; want error", tc.in, got)
+		}
+	}
+}
+
+// TestParseFingerprintRoundTrips pins that the formats the rest of the
+// system emits — /models rows, admin responses, subx logs, all %016x — parse
+// back to the same value for edge-case keys.
+func TestParseFingerprintRoundTrips(t *testing.T) {
+	for _, fp := range []uint64{0, 1, 0xdead, 1 << 63, 0xffffffffffffffff} {
+		got, err := serve.ParseFingerprint(fmt.Sprintf("%016x", fp))
+		if err != nil || got != fp {
+			t.Errorf("round trip %016x: got %x, %v", fp, got, err)
+		}
+	}
+}
+
 // TestAdminRequiresLoopback pins the auth gate: a request whose RemoteAddr
 // is not a loopback IP is refused with 403 before any body handling, and
 // unparseable peers fail closed.
@@ -162,7 +215,7 @@ func TestAdminRequiresLoopback(t *testing.T) {
 	h := s.Handler()
 
 	for _, remote := range []string{"10.1.2.3:5555", "192.168.1.9:80", "[2001:db8::1]:443", "garbage"} {
-		r := httptest.NewRequest(http.MethodPost, "/admin/swap", strings.NewReader(`{"alias":"m","fingerprint":"0"}`))
+		r := httptest.NewRequest(http.MethodPost, "/admin/swap", strings.NewReader(`{"alias":"m","fingerprint":"0000000000000000"}`))
 		r.RemoteAddr = remote
 		w := httptest.NewRecorder()
 		h.ServeHTTP(w, r)
@@ -172,7 +225,7 @@ func TestAdminRequiresLoopback(t *testing.T) {
 	}
 	// Loopback passes the gate (and then fails on the unknown version).
 	for _, remote := range []string{"127.0.0.1:9999", "[::1]:9999"} {
-		r := httptest.NewRequest(http.MethodPost, "/admin/swap", strings.NewReader(`{"alias":"m","fingerprint":"1"}`))
+		r := httptest.NewRequest(http.MethodPost, "/admin/swap", strings.NewReader(`{"alias":"m","fingerprint":"0000000000000001"}`))
 		r.RemoteAddr = remote
 		w := httptest.NewRecorder()
 		h.ServeHTTP(w, r)
